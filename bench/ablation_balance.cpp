@@ -1,0 +1,142 @@
+///
+/// \file ablation_balance.cpp
+/// \brief Ablations for §7's design choices:
+///  (a) balancing ON vs OFF on a heterogeneous cluster (time-to-solution);
+///  (b) contiguity-preserving frontier transfer vs naive transfer (ghost
+///      traffic and SP fragmentation after balancing).
+///
+
+#include <iostream>
+
+#include "balance/sim_driver.hpp"
+#include "balance/transfer.hpp"
+#include "bench_common.hpp"
+#include "model/capacity.hpp"
+#include "partition/metrics.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace nlh;
+
+/// Naive transfer: move `count` randomly chosen SDs of the lender,
+/// regardless of adjacency or contiguity — what a balancer that only looks
+/// at SD counts (no locality) would do.
+int naive_transfer(const dist::tiling& t, dist::ownership_map& own, int from,
+                   int to, int count) {
+  support::rng gen(2718);
+  std::vector<int> mine;
+  for (int sd = 0; sd < t.num_sds(); ++sd)
+    if (own.owner(sd) == from) mine.push_back(sd);
+  int moved = 0;
+  while (moved < count && !mine.empty()) {
+    const auto pick = static_cast<std::size_t>(gen.uniform_u64(0, mine.size() - 1));
+    own.set_owner(mine[pick], to);
+    mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++moved;
+  }
+  return moved;
+}
+
+int count_fragments(const dist::tiling& t, const dist::ownership_map& own) {
+  int fragments = 0;
+  for (int node = 0; node < own.num_nodes(); ++node) {
+    const auto sds = own.sds_of(node);
+    if (sds.empty()) continue;
+    std::vector<char> seen(static_cast<std::size_t>(t.num_sds()), 0);
+    int components = 0;
+    for (int s : sds) {
+      if (seen[static_cast<std::size_t>(s)]) continue;
+      ++components;
+      std::vector<int> stack{s};
+      seen[static_cast<std::size_t>(s)] = 1;
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (const auto& [d, nb] : t.neighbors(u))
+          if (own.owner(nb) == node && !seen[static_cast<std::size_t>(nb)]) {
+            seen[static_cast<std::size_t>(nb)] = 1;
+            stack.push_back(nb);
+          }
+      }
+    }
+    fragments += components;
+  }
+  return fragments;
+}
+
+double ghost_bytes_per_step(const dist::tiling& t, const dist::ownership_map& own,
+                            const dist::sim_cost_model& cost,
+                            const dist::sim_cluster_config& cluster) {
+  // Step 0 consumes the initial state and sends nothing; a 2-step run's
+  // traffic is exactly one steady-state step's ghost volume.
+  return dist::simulate_timestepping(t, own, 2, cost, cluster).network_bytes;
+}
+
+}  // namespace
+
+int main() {
+  using namespace nlh;
+  const dist::tiling t(10, 10, 50, 8);
+  const int nodes = 4;
+  const double sec_per_dp = bench::measure_seconds_per_dp(8);
+  const auto cost = bench::dp_cost_model();
+
+  // ---------------- (a) balancing on vs off, 1:1:2:4 cluster -------------
+  std::cout << "Ablation (a) — balancer ON vs OFF on a 1:1:2:4 cluster "
+               "(10x10 SDs of 50x50)\n\n";
+  auto cluster = bench::skylake_cluster(1, sec_per_dp);
+  const double base = 1.0 / sec_per_dp;
+  cluster.node_capacity =
+      model::heterogeneous_cluster({base, base, 2 * base, 4 * base});
+
+  auto own_off = bench::block_ownership(t, nodes);
+  const auto res_off = dist::simulate_timestepping(t, own_off, 20, cost, cluster);
+
+  auto own_on = bench::block_ownership(t, nodes);
+  balance::sim_balance_config bcfg;
+  bcfg.cost = cost;
+  bcfg.cluster = cluster;
+  bcfg.steps_per_iteration = 4;
+  bcfg.max_iterations = 8;
+  bcfg.cov_tol = 0.05;
+  balance::run_sim_balancing(t, own_on, bcfg);
+  const auto res_on = dist::simulate_timestepping(t, own_on, 20, cost, cluster);
+
+  support::table ta({"config", "makespan s", "busy-cov", "speedup"});
+  const double cov_off = support::imbalance_cov(res_off.node_busy_fraction);
+  const double cov_on = support::imbalance_cov(res_on.node_busy_fraction);
+  ta.row().add("static block partition").add(res_off.makespan, 4).add(cov_off, 3).add(1.0, 3);
+  ta.row().add("after Algorithm 1").add(res_on.makespan, 4).add(cov_on, 3).add(
+      res_off.makespan / res_on.makespan, 3);
+  ta.print(std::cout);
+
+  // ---------------- (b) frontier transfer vs naive transfer --------------
+  std::cout << "\nAblation (b) — contiguity-preserving frontier transfer vs "
+               "naive SD transfer\n(move 20 SDs from node 0 to node 3)\n\n";
+  auto cluster_uni = bench::skylake_cluster(1, sec_per_dp);
+  bench::set_uniform_speed(cluster_uni, nodes, sec_per_dp);
+
+  auto own_frontier = bench::block_ownership(t, nodes);
+  balance::transfer_sds(t, own_frontier, 0, 3, 20);
+  auto own_naive = bench::block_ownership(t, nodes);
+  naive_transfer(t, own_naive, 0, 3, 20);
+
+  support::table tb({"transfer", "SP fragments", "ghost MiB/step"});
+  tb.row()
+      .add("frontier (paper)")
+      .add(count_fragments(t, own_frontier))
+      .add(ghost_bytes_per_step(t, own_frontier, cost, cluster_uni) / (1024 * 1024), 4);
+  tb.row()
+      .add("naive (random pick)")
+      .add(count_fragments(t, own_naive))
+      .add(ghost_bytes_per_step(t, own_naive, cost, cluster_uni) / (1024 * 1024), 4);
+  tb.print(std::cout);
+  std::cout << "\nTakeaway: Algorithm 1 equalizes busy time on heterogeneous "
+               "nodes, and the paper's\nuniform frontier borrowing keeps SPs "
+               "in one piece with markedly less ghost traffic\nthan naive SD "
+               "reassignment.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+///
+/// \file ablation_overlap.cpp
+/// \brief Ablation for §6.3's core trick: how much exchange time does the
+/// case-1/case-2 overlap hide? Sweeps network latency on the Fig. 13
+/// configuration (16x16 SDs, 8 nodes) comparing the asynchronous schedule
+/// against a bulk-synchronous runtime that waits for every ghost before
+/// computing.
+///
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nlh;
+  const dist::tiling t(16, 16, 50, 8);
+  const int nodes = 8;
+  const int steps = 20;
+  const double sec_per_dp = bench::measure_seconds_per_dp(8);
+  const auto own = bench::metis_ownership(t, nodes);
+
+  std::cout << "Ablation — communication hiding (case-2-first overlap) vs "
+               "bulk-synchronous execution\n"
+            << "800x800 mesh, 16x16 SDs, 8 nodes, 20 steps; kernel: "
+            << sec_per_dp * 1e9 << " ns/DP-update\n\n";
+
+  support::table tab({"latency", "overlap makespan s", "bulk-sync makespan s",
+                      "overlap wins by"});
+  for (double latency : {2e-6, 1e-4, 1e-3, 1e-2}) {
+    auto cluster = bench::skylake_cluster(1, sec_per_dp);
+    bench::set_uniform_speed(cluster, nodes, sec_per_dp);
+    cluster.net.latency_s = latency;
+
+    auto cost = bench::dp_cost_model();
+    cost.overlap = true;
+    const auto on = dist::simulate_timestepping(t, own, steps, cost, cluster);
+    cost.overlap = false;
+    const auto off = dist::simulate_timestepping(t, own, steps, cost, cluster);
+
+    tab.row()
+        .add(support::fmt_double(latency * 1e6, 3) + " us")
+        .add(on.makespan, 4)
+        .add(off.makespan, 4)
+        .add(support::fmt_double((off.makespan / on.makespan - 1.0) * 100.0, 3) + " %");
+  }
+  tab.print(std::cout);
+  std::cout << "\nTakeaway: at realistic interconnect latencies the overlap "
+               "fully hides the exchange;\nas latency grows, the "
+               "bulk-synchronous schedule pays it on the critical path every "
+               "step\nwhile the asynchronous schedule keeps computing case-2 "
+               "DPs (paper §6.3).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+///
+/// \file ablation_partition.cpp
+/// \brief Ablation for §6.2's design choice: how much does METIS-style
+/// partitioning matter? Compares the multilevel partitioner against strip /
+/// block / random ownership on the Fig. 13 configuration: weighted edge
+/// cut, per-step ghost traffic and end-to-end virtual makespan.
+///
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "partition/metrics.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nlh;
+  const int sd_grid = 16;
+  const int sd_size = 50;
+  const int eps_factor = 8;
+  const int nodes = 8;
+  const int steps = 20;
+  const double sec_per_dp = bench::measure_seconds_per_dp(eps_factor);
+
+  const dist::tiling t(sd_grid, sd_grid, sd_size, eps_factor);
+  partition::mesh_dual_options mopt;
+  mopt.sd_rows = sd_grid;
+  mopt.sd_cols = sd_grid;
+  mopt.sd_size = sd_size;
+  mopt.ghost_width = eps_factor;
+  const auto dual = partition::build_mesh_dual(mopt);
+
+  std::cout << "Ablation — partitioning strategy on the Fig. 13 setup "
+               "(800x800 mesh, 16x16 SDs, " << nodes << " nodes)\n\n";
+
+  partition::partition_options popt;
+  popt.k = nodes;
+  const auto ml = partition::multilevel_partition(dual, popt);
+  const auto rb = partition::recursive_bisection_partition(dual, popt);
+  const auto strip = partition::strip_partition(sd_grid, sd_grid, nodes);
+  const auto block = partition::block_partition(sd_grid, sd_grid, nodes);
+  const auto rnd = partition::random_partition(dual.num_vertices(), nodes, 7);
+
+  const auto cost = bench::dp_cost_model();
+  support::table tab({"method", "edge-cut DPs", "contiguous", "ghost MiB/run",
+                      "makespan s", "slowdown vs best"});
+  struct row_data {
+    const char* name;
+    partition::partition_vector part;
+  };
+  std::vector<row_data> rows{{"multilevel k-way", ml}, {"recursive bisection", rb},
+                             {"block", block}, {"strip", strip}, {"random", rnd}};
+  std::vector<double> makespans;
+  for (const auto& r : rows) {
+    auto cluster = bench::skylake_cluster(1, sec_per_dp);
+    bench::set_uniform_speed(cluster, nodes, sec_per_dp);
+    const auto own = dist::ownership_map::from_partition(t, nodes, r.part);
+    const auto res = dist::simulate_timestepping(t, own, steps, cost, cluster);
+    makespans.push_back(res.makespan);
+  }
+  const double best = *std::min_element(makespans.begin(), makespans.end());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    auto cluster = bench::skylake_cluster(1, sec_per_dp);
+    bench::set_uniform_speed(cluster, nodes, sec_per_dp);
+    const auto own = dist::ownership_map::from_partition(t, nodes, rows[i].part);
+    const auto res = dist::simulate_timestepping(t, own, steps, cost, cluster);
+    tab.row()
+        .add(rows[i].name)
+        .add(partition::edge_cut(dual, rows[i].part), 6)
+        .add(partition::parts_contiguous(dual, rows[i].part, nodes) ? "yes" : "no")
+        .add(res.network_bytes / (1024.0 * 1024.0), 4)
+        .add(res.makespan, 4)
+        .add(res.makespan / best, 4);
+  }
+  tab.print(std::cout);
+  std::cout << "\nTakeaway: contiguous low-cut partitions (multilevel/block) "
+               "move far fewer ghost bytes\nthan strips or random assignment; "
+               "with overlap the makespan gap only opens when the\nnetwork "
+               "becomes the bottleneck — the cut is the headroom the overlap "
+               "trick relies on.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+#pragma once
+///
+/// \file bench_common.hpp
+/// \brief Shared pieces of the figure benches: kernel calibration (turning
+/// real measured DP-update cost into simulator work units), standard cluster
+/// parameters, and tiling/ownership helpers.
+///
+
+#include <iostream>
+
+#include "dist/ownership.hpp"
+#include "dist/sim_dist.hpp"
+#include "dist/tiling.hpp"
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/influence.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+#include "nonlocal/stencil.hpp"
+#include "partition/mesh_dual.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "support/stopwatch.hpp"
+
+namespace nlh::bench {
+
+/// Measure the real wall-clock cost of one DP update (one eq.-5 right-hand
+/// side evaluation including the full epsilon-ball loop) on this machine,
+/// for the given horizon factor. Used to set the virtual node speed so the
+/// simulator's absolute times are grounded in measured kernel cost.
+inline double measure_seconds_per_dp(int eps_factor, int block = 50) {
+  const int n = block;
+  nonlocal::grid2d grid(n, static_cast<double>(eps_factor) / n);
+  nonlocal::influence J;
+  nonlocal::stencil st(grid, J);
+  auto u = grid.make_field();
+  auto out = grid.make_field();
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = 1e-3 * static_cast<double>(i % 97);
+  const nonlocal::dp_rect all{0, n, 0, n};
+  // Warm-up, then timed repetitions.
+  nonlocal::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+  const int reps = 5;
+  support::stopwatch sw;
+  for (int r = 0; r < reps; ++r)
+    nonlocal::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+  const double total_dp = static_cast<double>(reps) * n * n;
+  return sw.elapsed_s() / total_dp;
+}
+
+/// Cluster defaults modeled on the paper's testbed class (Intel Skylake
+/// nodes on a fast interconnect): ~1 us latency, ~1.25 GB/s effective
+/// per-link bandwidth.
+inline dist::sim_cluster_config skylake_cluster(int cores_per_node,
+                                                double seconds_per_dp) {
+  dist::sim_cluster_config c;
+  c.cores_per_node = cores_per_node;
+  c.net.latency_s = 2e-6;
+  c.net.bandwidth_bytes_per_s = 1.25e9;
+  // Node speed in work units (DP updates) per second.
+  (void)seconds_per_dp;
+  return c;
+}
+
+/// Cost model in DP-update work units with real byte volumes.
+inline dist::sim_cost_model dp_cost_model() {
+  dist::sim_cost_model m;
+  m.work_per_dp = 1.0;
+  m.bytes_per_dp = 8.0;
+  return m;
+}
+
+/// Uniform node speeds from the measured kernel cost.
+inline void set_uniform_speed(dist::sim_cluster_config& c, int nodes,
+                              double seconds_per_dp) {
+  c.node_capacity.assign(static_cast<std::size_t>(nodes),
+                         sim::capacity_trace::constant(1.0 / seconds_per_dp));
+}
+
+/// METIS-style ownership via the multilevel partitioner on the SD dual graph.
+inline dist::ownership_map metis_ownership(const dist::tiling& t, int nodes,
+                                           unsigned seed = 12345) {
+  if (nodes == 1) return dist::ownership_map::single_node(t);
+  partition::mesh_dual_options mopt;
+  mopt.sd_rows = t.sd_rows();
+  mopt.sd_cols = t.sd_cols();
+  mopt.sd_size = t.sd_size();
+  mopt.ghost_width = t.ghost();
+  auto dual = partition::build_mesh_dual(mopt);
+  partition::partition_options popt;
+  popt.k = nodes;
+  popt.seed = seed;
+  const auto part = partition::multilevel_partition(dual, popt);
+  return dist::ownership_map::from_partition(t, nodes, part);
+}
+
+/// Paper-style block halves/quadrants ownership (§8.3's explicit layout).
+inline dist::ownership_map block_ownership(const dist::tiling& t, int nodes) {
+  const auto part = partition::block_partition(t.sd_rows(), t.sd_cols(), nodes);
+  return dist::ownership_map::from_partition(t, nodes, part);
+}
+
+}  // namespace nlh::bench

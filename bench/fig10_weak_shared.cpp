@@ -1,0 +1,55 @@
+///
+/// \file fig10_weak_shared.cpp
+/// \brief Reproduces paper Fig. 10: weak scaling of the asynchronous
+/// shared-memory solver. SD size fixed at 50x50 DPs; the SD grid grows
+/// n x n for n = 1..8 (total mesh 50n x 50n), epsilon = 8h, 20 steps,
+/// on 1 / 2 / 4 CPUs. The baseline for each problem size is its 1-CPU run.
+///
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace nlh;
+  const int sd_size = 50;
+  const int eps_factor = 8;
+  const int steps = 20;
+  const double sec_per_dp = bench::measure_seconds_per_dp(eps_factor);
+
+  std::cout << "Fig. 10 — weak scaling, shared memory (asynchronous)\n"
+            << "SD size 50x50, n x n SDs (mesh 50n x 50n), epsilon = 8h, 20 "
+               "steps; kernel: "
+            << sec_per_dp * 1e9 << " ns/DP-update\n\n";
+
+  support::table tab({"#SDs", "mesh", "T(1CPU) s", "speedup 1CPU",
+                      "speedup 2CPU", "speedup 4CPU"});
+  for (int n = 1; n <= 8; ++n) {
+    const dist::tiling t(n, n, sd_size, eps_factor);
+    const auto own = dist::ownership_map::single_node(t);
+    const auto cost = bench::dp_cost_model();
+    double t1 = 0.0;
+    std::vector<double> speedups;
+    for (int cpus : {1, 2, 4}) {
+      auto cluster = bench::skylake_cluster(cpus, sec_per_dp);
+      bench::set_uniform_speed(cluster, 1, sec_per_dp);
+      const auto res = dist::simulate_timestepping(t, own, steps, cost, cluster);
+      if (cpus == 1) t1 = res.makespan;
+      speedups.push_back(t1 / res.makespan);
+    }
+    const int mesh = n * sd_size;
+    tab.row()
+        .add(n * n)
+        .add(std::to_string(mesh) + "x" + std::to_string(mesh))
+        .add(t1, 4)
+        .add(speedups[0], 3)
+        .add(speedups[1], 3)
+        .add(speedups[2], 3);
+  }
+  tab.print(std::cout);
+  std::cout << "\nPaper shape: execution time grows linearly with problem "
+               "size on every CPU count;\nspeedup saturates at the CPU count "
+               "once there are enough SDs to fill the cores.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+///
+/// \file micro_balance.cpp
+/// \brief Microbenchmarks of the load-balancing machinery: Algorithm 1
+/// end-to-end, contiguity-preserving transfer, dependency-tree build and
+/// the eq. 8-10 load model.
+///
+
+#include <benchmark/benchmark.h>
+
+#include "balance/balancer.hpp"
+#include "balance/dependency_tree.hpp"
+#include "balance/transfer.hpp"
+#include "partition/partitioner.hpp"
+#include "support/rng.hpp"
+
+namespace bal = nlh::balance;
+namespace dist = nlh::dist;
+
+namespace {
+
+dist::ownership_map block_own(const dist::tiling& t, int nodes) {
+  return dist::ownership_map::from_partition(
+      t, nodes, nlh::partition::block_partition(t.sd_rows(), t.sd_cols(), nodes));
+}
+
+}  // namespace
+
+static void BM_BalanceStep(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  const int nodes = 4;
+  dist::tiling t(grid, grid, 10, 2);
+  nlh::support::rng gen(42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto own = block_own(t, nodes);
+    std::vector<double> busy(nodes);
+    for (auto& b : busy) b = gen.uniform(0.5, 2.0);
+    state.ResumeTiming();
+    auto rep = bal::balance_step(t, own, busy);
+    benchmark::DoNotOptimize(rep.moves.size());
+  }
+  state.counters["SDs"] = grid * grid;
+}
+BENCHMARK(BM_BalanceStep)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_TransferSds(benchmark::State& state) {
+  const int count = static_cast<int>(state.range(0));
+  dist::tiling t(16, 16, 10, 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto own = block_own(t, 2);
+    state.ResumeTiming();
+    auto moves = bal::transfer_sds(t, own, 0, 1, count);
+    benchmark::DoNotOptimize(moves.size());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_TransferSds)->Arg(1)->Arg(8)->Arg(32);
+
+static void BM_DependencyTree(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  // Ring-of-cliques adjacency.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    adj[static_cast<std::size_t>(i)].push_back((i + 1) % nodes);
+    adj[static_cast<std::size_t>(i)].push_back((i + nodes - 1) % nodes);
+  }
+  std::vector<double> imb(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) imb[static_cast<std::size_t>(i)] = i % 5 - 2.0;
+  for (auto _ : state) {
+    auto tree = bal::build_dependency_tree(adj, imb);
+    benchmark::DoNotOptimize(tree.order.data());
+  }
+}
+BENCHMARK(BM_DependencyTree)->Arg(4)->Arg(16)->Arg(64);
+
+static void BM_LoadModel(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  std::vector<int> counts(static_cast<std::size_t>(nodes), 16);
+  std::vector<double> busy(static_cast<std::size_t>(nodes));
+  nlh::support::rng gen(7);
+  for (auto& b : busy) b = gen.uniform(0.5, 2.0);
+  for (auto _ : state) {
+    const auto power = bal::compute_power(counts, busy);
+    const auto expected = bal::expected_sds(counts, power);
+    const auto imb = bal::load_imbalance(counts, expected);
+    benchmark::DoNotOptimize(imb.data());
+  }
+}
+BENCHMARK(BM_LoadModel)->Arg(4)->Arg(64);

@@ -1,0 +1,80 @@
+///
+/// \file micro_ghost.cpp
+/// \brief Microbenchmarks of the ghost-exchange path: strip pack/unpack,
+/// serialization, and the full mailbox round trip.
+///
+
+#include <benchmark/benchmark.h>
+
+#include "dist/sd_block.hpp"
+#include "dist/tiling.hpp"
+#include "net/comm_world.hpp"
+#include "net/serializer.hpp"
+
+namespace dist = nlh::dist;
+namespace net = nlh::net;
+
+static void BM_StripPack(benchmark::State& state) {
+  const int sd_size = static_cast<int>(state.range(0));
+  const int ghost = 8;
+  dist::tiling t(2, 2, sd_size, ghost);
+  dist::sd_block b(t, 0);
+  for (int i = 0; i < sd_size; ++i)
+    for (int j = 0; j < sd_size; ++j) b.u()[b.flat(i, j)] = i + j;
+  for (auto _ : state) {
+    auto strip = b.pack(t, dist::direction::east);
+    benchmark::DoNotOptimize(strip.data());
+  }
+  state.SetBytesProcessed(state.iterations() * sd_size * ghost * 8);
+}
+BENCHMARK(BM_StripPack)->Arg(16)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_StripUnpack(benchmark::State& state) {
+  const int sd_size = static_cast<int>(state.range(0));
+  const int ghost = 8;
+  dist::tiling t(2, 2, sd_size, ghost);
+  dist::sd_block a(t, 0), b(t, 1);
+  const auto strip = a.pack(t, dist::direction::east);
+  for (auto _ : state) {
+    b.unpack(t, dist::direction::west, strip);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(state.iterations() * sd_size * ghost * 8);
+}
+BENCHMARK(BM_StripUnpack)->Arg(16)->Arg(50)->Arg(100)->Arg(200);
+
+static void BM_LocalFillVsSerializedPath(benchmark::State& state) {
+  const int sd_size = 50;
+  dist::tiling t(1, 2, sd_size, 8);
+  dist::sd_block a(t, 0), b(t, 1);
+  const bool direct = state.range(0) == 1;
+  for (auto _ : state) {
+    if (direct) {
+      b.fill_from_local(t, dist::direction::west, a);
+    } else {
+      net::archive_writer w;
+      w.write(a.pack(t, dist::direction::east));
+      const auto buf = w.take();
+      net::archive_reader r(buf);
+      b.unpack(t, dist::direction::west, r.read_vector<double>());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(direct ? "direct collar copy" : "pack+serialize+unpack");
+}
+BENCHMARK(BM_LocalFillVsSerializedPath)->Arg(1)->Arg(0);
+
+static void BM_MailboxRoundTrip(benchmark::State& state) {
+  net::comm_world world(2);
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    net::byte_buffer payload(bytes);
+    world.send(0, 1, tag, std::move(payload));
+    auto got = world.recv(1, 0, tag).get();
+    benchmark::DoNotOptimize(got.data());
+    ++tag;
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MailboxRoundTrip)->Arg(64)->Arg(3200)->Arg(65536);

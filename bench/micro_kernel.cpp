@@ -1,0 +1,85 @@
+///
+/// \file micro_kernel.cpp
+/// \brief google-benchmark microbenchmarks of the nonlocal kernel: DP-update
+/// throughput vs horizon factor, SD size, and influence function.
+///
+
+#include <benchmark/benchmark.h>
+
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/influence.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+#include "nonlocal/problem.hpp"
+#include "nonlocal/stencil.hpp"
+
+namespace nl = nlh::nonlocal;
+
+static void BM_KernelVsEpsilon(benchmark::State& state) {
+  const int eps_factor = static_cast<int>(state.range(0));
+  const int n = 64;
+  nl::grid2d grid(n, static_cast<double>(eps_factor) / n);
+  nl::influence J;
+  nl::stencil st(grid, J);
+  auto u = grid.make_field();
+  auto out = grid.make_field();
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = 1e-3 * static_cast<double>(i % 101);
+  const nl::dp_rect all{0, n, 0, n};
+  for (auto _ : state) {
+    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.counters["stencil_size"] = static_cast<double>(st.size());
+}
+BENCHMARK(BM_KernelVsEpsilon)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_KernelVsBlockSize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  nl::grid2d grid(n, 4.0 / n);
+  nl::influence J;
+  nl::stencil st(grid, J);
+  auto u = grid.make_field();
+  auto out = grid.make_field();
+  const nl::dp_rect all{0, n, 0, n};
+  for (auto _ : state) {
+    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelVsBlockSize)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_KernelInfluenceKinds(benchmark::State& state) {
+  const auto kind = static_cast<nl::influence_kind>(state.range(0));
+  const int n = 64;
+  nl::grid2d grid(n, 4.0 / n);
+  nl::influence J(kind);
+  nl::stencil st(grid, J);
+  auto u = grid.make_field();
+  auto out = grid.make_field();
+  const nl::dp_rect all{0, n, 0, n};
+  for (auto _ : state) {
+    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_KernelInfluenceKinds)->Arg(0)->Arg(1)->Arg(2);
+
+static void BM_ManufacturedSource(benchmark::State& state) {
+  const int n = 64;
+  nl::grid2d grid(n, 4.0 / n);
+  nl::influence J;
+  nl::stencil st(grid, J);
+  const double c = J.scaling_constant(2, 1.0, grid.epsilon());
+  nl::manufactured_problem prob(grid, st, c);
+  auto w = prob.exact_field(0.25);
+  auto out = grid.make_field();
+  const nl::dp_rect all{0, n, 0, n};
+  for (auto _ : state) {
+    prob.source_into(0.25, w, out, all);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_ManufacturedSource);

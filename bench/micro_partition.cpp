@@ -1,0 +1,66 @@
+///
+/// \file micro_partition.cpp
+/// \brief Microbenchmarks of the multilevel partitioner and the paper's
+/// observation that partitioning the coarse SD grid (instead of the fine
+/// mesh) keeps METIS-style partitioning cheap.
+///
+
+#include <benchmark/benchmark.h>
+
+#include "partition/mesh_dual.hpp"
+#include "partition/metrics.hpp"
+#include "partition/multilevel.hpp"
+
+namespace part = nlh::partition;
+
+static part::graph dual_for(int grid) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = grid;
+  opt.sd_cols = grid;
+  opt.sd_size = 50;
+  opt.ghost_width = 8;
+  return part::build_mesh_dual(opt);
+}
+
+static void BM_MultilevelVsGridSize(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  const auto g = dual_for(grid);
+  part::partition_options opt;
+  opt.k = 8;
+  for (auto _ : state) {
+    auto p = part::multilevel_partition(g, opt);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_vertices());
+  state.counters["vertices"] = static_cast<double>(g.num_vertices());
+}
+BENCHMARK(BM_MultilevelVsGridSize)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+static void BM_MultilevelVsK(benchmark::State& state) {
+  const auto g = dual_for(16);
+  part::partition_options opt;
+  opt.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto p = part::multilevel_partition(g, opt);
+    benchmark::DoNotOptimize(p.data());
+  }
+}
+BENCHMARK(BM_MultilevelVsK)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_DualGraphBuild(benchmark::State& state) {
+  const int grid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = dual_for(grid);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_DualGraphBuild)->Arg(16)->Arg(64);
+
+static void BM_EdgeCutMetric(benchmark::State& state) {
+  const auto g = dual_for(32);
+  part::partition_options opt;
+  opt.k = 8;
+  const auto p = part::multilevel_partition(g, opt);
+  for (auto _ : state) benchmark::DoNotOptimize(part::edge_cut(g, p));
+}
+BENCHMARK(BM_EdgeCutMetric);

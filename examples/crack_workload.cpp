@@ -1,0 +1,70 @@
+///
+/// \file crack_workload.cpp
+/// \brief The paper's motivating scenario (§7): a crack line reduces the
+/// computational burden of the SDs it crosses; the busy-time-driven load
+/// balancer re-equalizes the nodes.
+///
+/// Usage: crack_workload [--sd-grid 8] [--nodes 4] [--reduction 0.6]
+///
+
+#include <iostream>
+
+#include "balance/render.hpp"
+#include "balance/sim_driver.hpp"
+#include "model/capacity.hpp"
+#include "model/crack.hpp"
+#include "partition/partitioner.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const nlh::support::cli cli(argc, argv);
+  const int sd_grid = cli.get_int("sd-grid", 8);
+  const int nodes = cli.get_int("nodes", 4);
+  const double reduction = cli.get_double("reduction", 0.6);
+
+  const nlh::dist::tiling t(sd_grid, sd_grid, 50, 8);
+  auto own = nlh::dist::ownership_map::from_partition(
+      t, nodes, nlh::partition::block_partition(sd_grid, sd_grid, nodes));
+
+  // Horizontal crack through the lower half: the SDs it crosses (all owned
+  // by the bottom-row nodes under a block partition) lose `reduction` of
+  // their work, unbalancing the cluster.
+  const nlh::model::crack_line crack{0.02, 0.25, 0.98, 0.25};
+  nlh::balance::sim_balance_config cfg;
+  cfg.cost.sd_work_scale = nlh::model::crack_work_scale(t, crack, reduction);
+  cfg.cluster.node_capacity = nlh::model::uniform_cluster(nodes, 1.0);
+  cfg.max_iterations = 8;
+  cfg.cov_tol = 0.03;
+
+  std::cout << "Crack workload: " << sd_grid << "x" << sd_grid << " SDs on "
+            << nodes << " symmetric nodes; cracked SDs do "
+            << (1.0 - reduction) * 100 << "% of normal work.\n\n";
+  std::cout << "Initial ownership (block partition):\n"
+            << nlh::balance::render_ownership(t, own) << "\n";
+
+  const auto before = own;
+  const auto log = nlh::balance::run_sim_balancing(t, own, cfg);
+
+  nlh::support::table tab({"iter", "busy-cov", "makespan", "SDs-moved",
+                           "SD-counts"});
+  for (const auto& e : log) {
+    std::string counts;
+    for (std::size_t i = 0; i < e.sd_counts_after.size(); ++i)
+      counts += (i ? "/" : "") + std::to_string(e.sd_counts_after[i]);
+    tab.row()
+        .add(e.iteration)
+        .add(e.busy_cov, 3)
+        .add(e.makespan, 5)
+        .add(e.sds_moved)
+        .add(counts);
+  }
+  tab.print(std::cout);
+
+  std::cout << "\nOwnership before -> after balancing:\n"
+            << nlh::balance::render_side_by_side(t, before, own);
+  std::cout << "\nThe cracked (cheap) SDs concentrate on fewer nodes so every "
+               "node's busy time matches.\n";
+  return 0;
+}

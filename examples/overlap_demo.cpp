@@ -1,0 +1,98 @@
+///
+/// \file overlap_demo.cpp
+/// \brief Anatomy of the communication-hiding trick (paper §6.3, Fig. 5):
+/// shows the case-1/case-2 decomposition of each SD, runs the real
+/// asynchronous solver over two localities, and quantifies how much
+/// exchange time the overlap hides using the virtual-time twin.
+///
+/// Usage: overlap_demo [--sd-size 16] [--latency-us 50] [--trace out.json]
+/// With --trace, the virtual schedule is written as Chrome tracing JSON
+/// (open in chrome://tracing or Perfetto to see the overlap lanes).
+///
+
+#include <fstream>
+#include <iostream>
+
+#include "dist/dist_solver.hpp"
+#include "dist/sim_dist.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  const nlh::support::cli cli(argc, argv);
+  const int sd_size = cli.get_int("sd-size", 16);
+  const double latency_us = cli.get_double("latency-us", 50.0);
+
+  const int sd_grid = 2;
+  const int ghost = 2;
+  const nlh::dist::tiling t(sd_grid, sd_grid, sd_size, ghost);
+  const nlh::dist::ownership_map own(t, 2, {0, 1, 0, 1});  // two columns
+
+  std::cout << "2x2 SDs of " << sd_size << "x" << sd_size
+            << " DPs, ghost width " << ghost
+            << ", left column on locality 0, right on locality 1.\n\n";
+
+  // --- Case-1 / case-2 decomposition ------------------------------------
+  nlh::support::table split_tab(
+      {"SD", "owner", "case-2 interior DPs", "case-1 strip DPs", "strips"});
+  for (int sd = 0; sd < t.num_sds(); ++sd) {
+    const auto split = nlh::dist::compute_case_split(t, sd, own.raw());
+    split_tab.row()
+        .add(sd)
+        .add(own.owner(sd))
+        .add(static_cast<long long>(split.interior_dps()))
+        .add(static_cast<long long>(split.strip_dps()))
+        .add(static_cast<long long>(split.remote_strips.size()));
+  }
+  split_tab.print(std::cout);
+  std::cout << "\nCase-2 DPs never read foreign data and compute while ghost "
+               "messages are in flight;\ncase-1 strips wait for all remote "
+               "ghosts of their SD.\n\n";
+
+  // --- Real asynchronous run -------------------------------------------
+  nlh::dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = sd_grid;
+  cfg.sd_size = sd_size;
+  cfg.epsilon_factor = ghost;
+  nlh::dist::dist_solver solver(cfg, own);
+  solver.set_initial_condition();
+  solver.run(5);
+  std::cout << "Real solver: 5 steps, ghost traffic "
+            << solver.ghost_bytes() << " bytes over "
+            << "locality boundary.\n\n";
+
+  // --- Virtual-time comparison: overlap on vs off ------------------------
+  // Virtual time is measured in DP-update units (work_per_dp = 1, node
+  // speed 1), so the network is parameterized in the same unit: one message
+  // costs `latency_us` DP-updates plus one DP-update per payload byte.
+  nlh::dist::sim_cost_model cost;
+  nlh::dist::sim_cluster_config cl;
+  cl.net.latency_s = latency_us;
+  cl.net.bandwidth_bytes_per_s = 1.0;
+  std::ofstream trace_file;
+  if (cli.has("trace")) {
+    trace_file.open(cli.get("trace", "overlap_trace.json"));
+    cl.chrome_trace = &trace_file;
+  }
+  const auto with_overlap = nlh::dist::simulate_timestepping(t, own, 20, cost, cl);
+  if (trace_file.is_open())
+    std::cout << "Chrome trace written to " << cli.get("trace", "") << "\n\n";
+
+  // A hypothetical no-overlap runtime waits for every ghost before touching
+  // any DP: per step that adds the full transfer time to the critical path.
+  const double strip_bytes = static_cast<double>(t.strip_dps(
+                                 nlh::dist::direction::east)) * cost.bytes_per_dp;
+  const double per_step_wait = cl.net.transfer_time(strip_bytes);
+  const double no_overlap_makespan = with_overlap.makespan + 20 * per_step_wait;
+
+  nlh::support::table ov({"schedule", "virtual makespan", "hidden per step"});
+  ov.row().add("async overlap (case-2 first)").add(with_overlap.makespan, 6).add("-");
+  ov.row().add("bulk-synchronous (wait for ghosts)").add(no_overlap_makespan, 6).add(
+      per_step_wait, 4);
+  ov.print(std::cout);
+
+  std::cout << "\nThe asynchronous schedule hides the exchange behind case-2 "
+               "computation\n(the assumption that makes Algorithm 1's "
+               "busy-time model realistic).\n";
+  return 0;
+}

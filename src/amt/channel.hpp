@@ -1,0 +1,101 @@
+#pragma once
+///
+/// \file channel.hpp
+/// \brief Futurized FIFO channel, modeled on hpx::lcos::local::channel.
+///
+/// Producers `set` values, consumers `get` futures; values and requests
+/// match in FIFO order regardless of which side arrives first (the typed,
+/// single-queue sibling of net::mailbox). `close()` fails all pending and
+/// future gets with channel_closed.
+///
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "amt/future.hpp"
+
+namespace nlh::amt {
+
+struct channel_closed : std::runtime_error {
+  channel_closed() : std::runtime_error("channel closed") {}
+};
+
+template <class T>
+class channel {
+ public:
+  /// Enqueue a value; fulfills the oldest waiting get if any.
+  void set(T value) {
+    promise<T> to_fulfill;
+    bool matched = false;
+    {
+      std::lock_guard lk(m_);
+      NLH_ASSERT_MSG(!closed_, "channel::set after close");
+      if (!waiting_.empty()) {
+        to_fulfill = std::move(waiting_.front());
+        waiting_.pop_front();
+        matched = true;
+      } else {
+        values_.push_back(std::move(value));
+      }
+    }
+    if (matched) to_fulfill.set_value(std::move(value));
+  }
+
+  /// Futurized receive; ready immediately when a value is queued. After
+  /// close(), gets drain the remaining queued values first and then fail
+  /// with channel_closed.
+  future<T> get() {
+    promise<T> p;
+    auto f = p.get_future();
+    std::optional<T> value;
+    bool closed = false;
+    {
+      std::lock_guard lk(m_);
+      if (!values_.empty()) {
+        value.emplace(std::move(values_.front()));
+        values_.pop_front();
+      } else if (closed_) {
+        closed = true;
+      } else {
+        waiting_.push_back(std::move(p));
+      }
+    }
+    if (value)
+      p.set_value(std::move(*value));
+    else if (closed)
+      p.set_exception(std::make_exception_ptr(channel_closed{}));
+    return f;
+  }
+
+  /// Fail all pending gets; subsequent gets drain queued values, then fail.
+  void close() {
+    std::deque<promise<T>> waiters;
+    {
+      std::lock_guard lk(m_);
+      closed_ = true;
+      waiters.swap(waiting_);
+    }
+    for (auto& w : waiters)
+      w.set_exception(std::make_exception_ptr(channel_closed{}));
+  }
+
+  bool closed() const {
+    std::lock_guard lk(m_);
+    return closed_;
+  }
+
+  std::size_t queued() const {
+    std::lock_guard lk(m_);
+    return values_.size();
+  }
+
+ private:
+  mutable std::mutex m_;
+  std::deque<T> values_;
+  std::deque<promise<T>> waiting_;
+  bool closed_ = false;
+};
+
+}  // namespace nlh::amt

@@ -1,0 +1,81 @@
+#include "amt/counters.hpp"
+
+#include "support/assert.hpp"
+
+namespace nlh::amt {
+
+counter_registry& counter_registry::instance() {
+  static counter_registry reg;
+  return reg;
+}
+
+void counter_registry::register_counter(const std::string& path,
+                                        std::function<double()> value,
+                                        std::function<void()> reset) {
+  std::lock_guard lk(m_);
+  counters_[path] = entry{std::move(value), std::move(reset)};
+}
+
+void counter_registry::unregister_counter(const std::string& path) {
+  std::lock_guard lk(m_);
+  counters_.erase(path);
+}
+
+double counter_registry::value(const std::string& path) const {
+  std::function<double()> fn;
+  {
+    std::lock_guard lk(m_);
+    const auto it = counters_.find(path);
+    NLH_ASSERT_MSG(it != counters_.end(), path.c_str());
+    fn = it->second.value;
+  }
+  return fn();
+}
+
+bool counter_registry::contains(const std::string& path) const {
+  std::lock_guard lk(m_);
+  return counters_.count(path) != 0;
+}
+
+void counter_registry::reset(const std::string& path) {
+  std::function<void()> fn;
+  {
+    std::lock_guard lk(m_);
+    const auto it = counters_.find(path);
+    NLH_ASSERT_MSG(it != counters_.end(), path.c_str());
+    fn = it->second.reset;
+  }
+  fn();
+}
+
+void counter_registry::reset_matching(const std::string& substring) {
+  std::vector<std::function<void()>> fns;
+  {
+    std::lock_guard lk(m_);
+    for (auto& [path, e] : counters_)
+      if (substring.empty() || path.find(substring) != std::string::npos)
+        fns.push_back(e.reset);
+  }
+  for (auto& f : fns) f();
+}
+
+std::vector<std::string> counter_registry::paths_matching(
+    const std::string& substring) const {
+  std::vector<std::string> out;
+  std::lock_guard lk(m_);
+  for (const auto& [path, e] : counters_)
+    if (substring.empty() || path.find(substring) != std::string::npos)
+      out.push_back(path);
+  return out;
+}
+
+void counter_registry::clear() {
+  std::lock_guard lk(m_);
+  counters_.clear();
+}
+
+std::string busy_time_path(int locality) {
+  return "/threads{locality#" + std::to_string(locality) + "/total}/busy_time";
+}
+
+}  // namespace nlh::amt

@@ -1,0 +1,64 @@
+#pragma once
+///
+/// \file counters.hpp
+/// \brief Globally addressable performance counters — the AGAS-registered
+/// counter facility of HPX, reduced to what the load balancer needs.
+///
+/// Counters are registered by path (e.g. "/threads{locality#0}/busy_time"),
+/// expose a value provider and a reset hook, and can be polled and reset
+/// while the application runs. Algorithm 1 resets all busy_time counters at
+/// the end of each balancing iteration so every node is measured over the
+/// same interval.
+///
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace nlh::amt {
+
+/// Process-wide registry; thread safe.
+class counter_registry {
+ public:
+  static counter_registry& instance();
+
+  /// Register (or replace) a counter. `value` returns the current reading;
+  /// `reset` restarts the measurement interval.
+  void register_counter(const std::string& path, std::function<double()> value,
+                        std::function<void()> reset);
+
+  void unregister_counter(const std::string& path);
+
+  /// Polls a counter; aborts via NLH_ASSERT if the path is unknown.
+  double value(const std::string& path) const;
+
+  bool contains(const std::string& path) const;
+
+  void reset(const std::string& path);
+
+  /// Reset every counter whose path contains `substring` (empty = all);
+  /// implements Algorithm 1 line 35, `reset_all(busy_time)`.
+  void reset_matching(const std::string& substring);
+
+  /// All registered paths containing `substring`, sorted.
+  std::vector<std::string> paths_matching(const std::string& substring) const;
+
+  /// Remove everything (test isolation).
+  void clear();
+
+ private:
+  struct entry {
+    std::function<double()> value;
+    std::function<void()> reset;
+  };
+  mutable std::mutex m_;
+  std::map<std::string, entry> counters_;
+};
+
+/// Canonical counter path for a locality's busy-time fraction, matching the
+/// paper's hpx::performance_counters::busy_time usage.
+std::string busy_time_path(int locality);
+
+}  // namespace nlh::amt

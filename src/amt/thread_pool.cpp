@@ -1,0 +1,142 @@
+#include "amt/thread_pool.hpp"
+
+#include <chrono>
+
+#include "amt/counters.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::amt {
+
+thread_local thread_pool* thread_pool::current_pool_ = nullptr;
+thread_local unsigned thread_pool::current_index_ = 0;
+
+thread_pool::thread_pool(unsigned num_threads, int locality) : locality_(locality) {
+  NLH_ASSERT(num_threads >= 1);
+  interval_start_ = std::chrono::steady_clock::now();
+  queues_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) queues_.push_back(std::make_unique<worker_queue>());
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+
+  if (locality_ >= 0) {
+    counter_registry::instance().register_counter(
+        busy_time_path(locality_), [this] { return busy_fraction(); },
+        [this] { reset_busy_time(); });
+  }
+}
+
+thread_pool::~thread_pool() {
+  stop_.store(true, std::memory_order_release);
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  if (locality_ >= 0)
+    counter_registry::instance().unregister_counter(busy_time_path(locality_));
+}
+
+void thread_pool::post(unique_function<void()> task) {
+  NLH_ASSERT(task);
+  if (current_pool_ == this) {
+    auto& wq = *queues_[current_index_];
+    std::lock_guard lk(wq.m);
+    wq.q.push_back(std::move(task));
+  } else {
+    std::lock_guard lk(inject_m_);
+    inject_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+bool thread_pool::try_pop_local(unsigned index, unique_function<void()>& out) {
+  auto& wq = *queues_[index];
+  std::lock_guard lk(wq.m);
+  if (wq.q.empty()) return false;
+  out = std::move(wq.q.back());  // LIFO: newest first for cache locality
+  wq.q.pop_back();
+  return true;
+}
+
+bool thread_pool::try_steal(unsigned index, unique_function<void()>& out) {
+  const auto n = queues_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    auto& victim = *queues_[(index + k) % n];
+    std::lock_guard lk(victim.m);
+    if (!victim.q.empty()) {
+      out = std::move(victim.q.front());  // FIFO steal: oldest, largest subtrees
+      victim.q.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool thread_pool::try_pop_inject(unique_function<void()>& out) {
+  std::lock_guard lk(inject_m_);
+  if (inject_.empty()) return false;
+  out = std::move(inject_.front());
+  inject_.pop_front();
+  return true;
+}
+
+bool thread_pool::try_help_one() {
+  unique_function<void()> task;
+  const unsigned idx = (current_pool_ == this) ? current_index_ : 0;
+  if (try_pop_inject(task) || try_pop_local(idx, task) || try_steal(idx, task)) {
+    run_task(std::move(task));
+    return true;
+  }
+  return false;
+}
+
+void thread_pool::run_task(unique_function<void()> task) {
+  const auto t0 = std::chrono::steady_clock::now();
+  task();
+  const auto t1 = std::chrono::steady_clock::now();
+  busy_ns_.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+      std::memory_order_relaxed);
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void thread_pool::worker_loop(unsigned index) {
+  current_pool_ = this;
+  current_index_ = index;
+  unique_function<void()> task;
+  while (true) {
+    if (try_pop_local(index, task) || try_pop_inject(task) || try_steal(index, task)) {
+      run_task(std::move(task));
+      task = nullptr;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock lk(sleep_m_);
+    // Re-check under the lock to avoid missing a notify between the empty
+    // poll above and the wait below.
+    work_cv_.wait_for(lk, std::chrono::milliseconds(1));
+  }
+}
+
+double thread_pool::busy_time_s() const {
+  return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+}
+
+double thread_pool::busy_fraction() const {
+  std::chrono::steady_clock::time_point start;
+  {
+    std::lock_guard lk(interval_m_);
+    start = interval_start_;
+  }
+  const double interval =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (interval <= 0.0) return 0.0;
+  return busy_time_s() / (interval * static_cast<double>(workers_.size()));
+}
+
+void thread_pool::reset_busy_time() {
+  std::lock_guard lk(interval_m_);
+  busy_ns_.store(0, std::memory_order_relaxed);
+  interval_start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace nlh::amt

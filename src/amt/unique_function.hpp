@@ -1,0 +1,53 @@
+#pragma once
+///
+/// \file unique_function.hpp
+/// \brief Move-only callable wrapper (pre-C++23 `std::move_only_function`).
+///
+/// Packaged tasks capture promises, which are movable but not copyable, so
+/// `std::function` cannot hold them; this minimal wrapper can.
+///
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace nlh::amt {
+
+template <class Sig>
+class unique_function;
+
+template <class R, class... Args>
+class unique_function<R(Args...)> {
+ public:
+  unique_function() = default;
+  unique_function(std::nullptr_t) {}
+
+  template <class F,
+            class = std::enable_if_t<!std::is_same_v<std::decay_t<F>, unique_function>>>
+  unique_function(F&& f) : impl_(std::make_unique<model<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  unique_function(unique_function&&) noexcept = default;
+  unique_function& operator=(unique_function&&) noexcept = default;
+  unique_function(const unique_function&) = delete;
+  unique_function& operator=(const unique_function&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  R operator()(Args... args) { return impl_->call(std::forward<Args>(args)...); }
+
+ private:
+  struct concept_t {
+    virtual ~concept_t() = default;
+    virtual R call(Args...) = 0;
+  };
+  template <class F>
+  struct model final : concept_t {
+    explicit model(F f) : fn(std::move(f)) {}
+    R call(Args... args) override { return fn(std::forward<Args>(args)...); }
+    F fn;
+  };
+
+  std::unique_ptr<concept_t> impl_;
+};
+
+}  // namespace nlh::amt

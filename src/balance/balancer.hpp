@@ -1,0 +1,49 @@
+#pragma once
+///
+/// \file balancer.hpp
+/// \brief Algorithm 1 end to end: busy times -> power -> expected SDs ->
+/// imbalance -> dependency tree -> topological redistribution.
+///
+
+#include <functional>
+#include <vector>
+
+#include "balance/dependency_tree.hpp"
+#include "balance/load_model.hpp"
+#include "balance/transfer.hpp"
+#include "dist/ownership.hpp"
+#include "dist/tiling.hpp"
+
+namespace nlh::balance {
+
+struct balance_options {
+  /// Busy times below this are floored (idle node; see compute_power).
+  double busy_floor = 1e-9;
+  /// Nodes whose |imbalance| is below this many SDs are left alone; avoids
+  /// thrashing single SDs back and forth between near-balanced nodes.
+  double deadband = 0.5;
+};
+
+/// Everything one balancing iteration computed and did (report for logging,
+/// benches and tests).
+struct balance_report {
+  std::vector<int> sd_counts_before;
+  std::vector<double> power;       ///< eq. (8)
+  std::vector<double> expected;    ///< eq. (10)
+  std::vector<double> imbalance;   ///< eq. (9), before redistribution
+  dependency_tree tree;
+  std::vector<sd_move> moves;      ///< SD migrations actually performed
+  std::vector<int> sd_counts_after;
+};
+
+/// Run one load-balancing iteration on `own` given the nodes' measured busy
+/// times. `migrate` (optional) is invoked for every SD move so callers can
+/// transfer the actual field data (dist_solver::migrate_sd). The caller is
+/// responsible for resetting the busy-time counters afterwards (Algorithm 1
+/// line 35) — in this API the counters are owned by the caller.
+balance_report balance_step(const dist::tiling& t, dist::ownership_map& own,
+                            const std::vector<double>& busy_time,
+                            const balance_options& opts = {},
+                            const std::function<void(const sd_move&)>& migrate = {});
+
+}  // namespace nlh::balance

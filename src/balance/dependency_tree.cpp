@@ -1,0 +1,58 @@
+#include "balance/dependency_tree.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace nlh::balance {
+
+dependency_tree build_dependency_tree(const std::vector<std::vector<int>>& adjacency,
+                                      const std::vector<double>& imbalance) {
+  const auto n = adjacency.size();
+  NLH_ASSERT(imbalance.size() == n);
+  NLH_ASSERT(n >= 1);
+
+  dependency_tree tree;
+  tree.parent.assign(n, -1);
+  tree.children.assign(n, {});
+  tree.root = static_cast<int>(
+      std::min_element(imbalance.begin(), imbalance.end()) - imbalance.begin());
+
+  std::vector<char> visited(n, 0);
+  std::queue<int> bfs;
+  auto enqueue_root = [&](int r) {
+    visited[static_cast<std::size_t>(r)] = 1;
+    tree.order.push_back(r);
+    bfs.push(r);
+  };
+  enqueue_root(tree.root);
+  while (true) {
+    while (!bfs.empty()) {
+      const int u = bfs.front();
+      bfs.pop();
+      for (int v : adjacency[static_cast<std::size_t>(u)]) {
+        NLH_ASSERT(v >= 0 && static_cast<std::size_t>(v) < n);
+        if (visited[static_cast<std::size_t>(v)]) continue;
+        visited[static_cast<std::size_t>(v)] = 1;
+        tree.parent[static_cast<std::size_t>(v)] = u;
+        tree.children[static_cast<std::size_t>(u)].push_back(v);
+        tree.order.push_back(v);
+        bfs.push(v);
+      }
+    }
+    // Nodes whose SP touches nobody (e.g. a node with zero SDs): isolated roots.
+    int next = -1;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!visited[i]) {
+        next = static_cast<int>(i);
+        break;
+      }
+    if (next == -1) break;
+    enqueue_root(next);
+  }
+  NLH_ASSERT(tree.order.size() == n);
+  return tree;
+}
+
+}  // namespace nlh::balance

@@ -1,0 +1,31 @@
+#pragma once
+///
+/// \file dependency_tree.hpp
+/// \brief Data-dependency tree over compute nodes and its topological
+/// ordering (Algorithm 1 lines 13-19, paper Fig. 7).
+///
+/// Nodes of the tree are compute nodes; an edge exists when the two nodes'
+/// SPs share an SD boundary. The tree is a BFS spanning tree of that
+/// adjacency rooted at the node with minimum load imbalance; the
+/// "topological order" processes a parent before its children so each node
+/// exchanges SDs only with not-yet-visited neighbors.
+///
+
+#include <vector>
+
+namespace nlh::balance {
+
+struct dependency_tree {
+  int root = 0;
+  std::vector<int> parent;                 ///< parent[node], -1 for root / unreachable
+  std::vector<std::vector<int>> children;  ///< children[node]
+  std::vector<int> order;                  ///< parent-before-children traversal
+};
+
+/// Build the BFS spanning tree of `adjacency` rooted at argmin(imbalance).
+/// `adjacency[i]` lists nodes adjacent to i (symmetric). Disconnected nodes
+/// (no SDs adjacent to anyone) are appended to the order as isolated roots.
+dependency_tree build_dependency_tree(const std::vector<std::vector<int>>& adjacency,
+                                      const std::vector<double>& imbalance);
+
+}  // namespace nlh::balance

@@ -1,0 +1,52 @@
+#include "balance/load_model.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace nlh::balance {
+
+std::vector<double> compute_power(const std::vector<int>& sd_counts,
+                                  const std::vector<double>& busy_time,
+                                  double busy_floor) {
+  NLH_ASSERT(sd_counts.size() == busy_time.size());
+  NLH_ASSERT(busy_floor > 0.0);
+  std::vector<double> power(sd_counts.size());
+  for (std::size_t i = 0; i < sd_counts.size(); ++i) {
+    NLH_ASSERT(sd_counts[i] >= 0);
+    NLH_ASSERT(busy_time[i] >= 0.0);
+    const double busy = std::max(busy_time[i], busy_floor);
+    // A node with zero SDs still reports capacity: rate it as if it had
+    // processed one SD in its (floored) busy interval so it can receive work.
+    const double sds = std::max(sd_counts[i], 1);
+    power[i] = sds / busy;
+  }
+  return power;
+}
+
+std::vector<double> expected_sds(const std::vector<int>& sd_counts,
+                                 const std::vector<double>& power) {
+  NLH_ASSERT(sd_counts.size() == power.size());
+  double total_power = 0.0;
+  int total_sds = 0;
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    NLH_ASSERT(power[i] > 0.0);
+    total_power += power[i];
+    total_sds += sd_counts[i];
+  }
+  std::vector<double> expected(power.size());
+  for (std::size_t i = 0; i < power.size(); ++i)
+    expected[i] = total_sds * power[i] / total_power;
+  return expected;
+}
+
+std::vector<double> load_imbalance(const std::vector<int>& sd_counts,
+                                   const std::vector<double>& expected) {
+  NLH_ASSERT(sd_counts.size() == expected.size());
+  std::vector<double> imb(sd_counts.size());
+  for (std::size_t i = 0; i < sd_counts.size(); ++i)
+    imb[i] = expected[i] - sd_counts[i];
+  return imb;
+}
+
+}  // namespace nlh::balance

@@ -1,0 +1,30 @@
+#pragma once
+///
+/// \file load_model.hpp
+/// \brief The quantitative core of Algorithm 1: compute capacity (eq. 8),
+/// expected SD counts (eq. 10) and load imbalance (eq. 9) from the busy-time
+/// performance counters.
+///
+
+#include <vector>
+
+namespace nlh::balance {
+
+/// Power(N_i) = SD(N_i) / BusyTime(N_i), eq. (8). Nodes that were never
+/// busy (busy <= floor) are treated as owning capacity proportional to one
+/// SD per floor interval, which keeps the formula finite when a node had no
+/// work at all.
+std::vector<double> compute_power(const std::vector<int>& sd_counts,
+                                  const std::vector<double>& busy_time,
+                                  double busy_floor = 1e-9);
+
+/// E(N_i) = TotalSD * Power_i / sum_j Power_j, eq. (10).
+std::vector<double> expected_sds(const std::vector<int>& sd_counts,
+                                 const std::vector<double>& power);
+
+/// LoadImbalance(N_i) = E(N_i) - SD(N_i), eq. (9). Positive: the node is
+/// under-loaded and should borrow SDs; negative: it should lend.
+std::vector<double> load_imbalance(const std::vector<int>& sd_counts,
+                                   const std::vector<double>& expected);
+
+}  // namespace nlh::balance

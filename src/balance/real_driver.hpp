@@ -1,0 +1,39 @@
+#pragma once
+///
+/// \file real_driver.hpp
+/// \brief Closed-loop balancing on the *real* distributed solver: run
+/// timesteps, read the busy-time performance counters, execute Algorithm 1
+/// with dist_solver::migrate_sd as the migration callback, reset counters,
+/// repeat. The production-path twin of run_sim_balancing.
+///
+
+#include <vector>
+
+#include "balance/balancer.hpp"
+#include "dist/dist_solver.hpp"
+
+namespace nlh::balance {
+
+struct real_balance_config {
+  int steps_per_iteration = 5;  ///< timesteps between balancing decisions
+  int iterations = 4;           ///< measure/balance rounds to run
+  balance_options opts;
+};
+
+struct real_balance_iteration {
+  int iteration = 0;
+  std::vector<double> busy_fraction;  ///< per locality, measured interval
+  std::vector<int> sd_counts_before;
+  std::vector<int> sd_counts_after;
+  int sds_moved = 0;
+  std::uint64_t migration_bytes = 0;  ///< ghost-layer traffic of the moves
+};
+
+/// Drive `solver` for iterations * steps_per_iteration timesteps with a
+/// balancing decision after each interval. The solver's ownership map and
+/// SD blocks are migrated in place; busy counters are reset after every
+/// decision (Algorithm 1 line 35).
+std::vector<real_balance_iteration> run_real_balancing(dist::dist_solver& solver,
+                                                       const real_balance_config& cfg);
+
+}  // namespace nlh::balance

@@ -1,0 +1,35 @@
+#include "balance/render.hpp"
+
+namespace nlh::balance {
+
+namespace {
+char node_char(int node) {
+  if (node < 10) return static_cast<char>('0' + node);
+  if (node < 36) return static_cast<char>('A' + node - 10);
+  return '#';
+}
+}  // namespace
+
+std::string render_ownership(const dist::tiling& t, const dist::ownership_map& own) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(t.num_sds()) + t.sd_rows());
+  for (int r = 0; r < t.sd_rows(); ++r) {
+    for (int c = 0; c < t.sd_cols(); ++c) out.push_back(node_char(own.owner(t.sd_at(r, c))));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string render_side_by_side(const dist::tiling& t, const dist::ownership_map& before,
+                                const dist::ownership_map& after) {
+  std::string out;
+  for (int r = 0; r < t.sd_rows(); ++r) {
+    for (int c = 0; c < t.sd_cols(); ++c) out.push_back(node_char(before.owner(t.sd_at(r, c))));
+    out += (r == t.sd_rows() / 2) ? "  ->  " : "      ";
+    for (int c = 0; c < t.sd_cols(); ++c) out.push_back(node_char(after.owner(t.sd_at(r, c))));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace nlh::balance

@@ -1,0 +1,22 @@
+#pragma once
+///
+/// \file render.hpp
+/// \brief ASCII rendering of SD ownership maps (paper Figs. 6 and 14).
+///
+
+#include <string>
+
+#include "dist/ownership.hpp"
+#include "dist/tiling.hpp"
+
+namespace nlh::balance {
+
+/// Render the SD grid with one character per SD (node id as 0-9A-Z, '#'
+/// beyond 36 nodes), one SD row per line.
+std::string render_ownership(const dist::tiling& t, const dist::ownership_map& own);
+
+/// Render two maps side by side with a separator (before -> after views).
+std::string render_side_by_side(const dist::tiling& t, const dist::ownership_map& before,
+                                const dist::ownership_map& after);
+
+}  // namespace nlh::balance

@@ -1,0 +1,46 @@
+#include "balance/sim_driver.hpp"
+
+#include "support/stats.hpp"
+
+namespace nlh::balance {
+
+std::vector<sim_balance_iteration> run_sim_balancing(const dist::tiling& t,
+                                                     dist::ownership_map& own,
+                                                     const sim_balance_config& cfg) {
+  std::vector<sim_balance_iteration> log;
+  auto cost = cfg.cost;
+  auto cluster = cfg.cluster;
+  for (int it = 0; it < cfg.max_iterations; ++it) {
+    sim_balance_iteration entry;
+    entry.iteration = it;
+    entry.sd_counts_before = own.sd_counts();
+
+    if (cfg.on_iteration) cfg.on_iteration(it, cost, cluster);
+
+    // Measure: run an interval on the virtual cluster with the current SP
+    // distribution. Re-simulating from a fresh interval mirrors the paper's
+    // counter reset between balancing iterations.
+    const auto run =
+        dist::simulate_timestepping(t, own, cfg.steps_per_iteration, cost, cluster);
+    entry.busy_time = run.node_busy;
+    entry.busy_fraction = run.node_busy_fraction;
+    entry.makespan = run.makespan;
+    entry.busy_cov = support::imbalance_cov(run.node_busy_fraction);
+
+    if (entry.busy_cov < cfg.cov_tol) {
+      entry.converged = true;
+      entry.sd_counts_after = entry.sd_counts_before;
+      log.push_back(std::move(entry));
+      if (!cfg.run_all_iterations) break;
+      continue;
+    }
+
+    const auto rep = balance_step(t, own, entry.busy_time, cfg.opts);
+    entry.sds_moved = static_cast<int>(rep.moves.size());
+    entry.sd_counts_after = rep.sd_counts_after;
+    log.push_back(std::move(entry));
+  }
+  return log;
+}
+
+}  // namespace nlh::balance

@@ -1,0 +1,52 @@
+#pragma once
+///
+/// \file sim_driver.hpp
+/// \brief Closed-loop balancing on the virtual cluster: simulate a few
+/// timesteps, read busy times, rebalance, repeat — the experiment of paper
+/// Fig. 14 and the heterogeneous-cluster studies.
+///
+
+#include <functional>
+#include <vector>
+
+#include "balance/balancer.hpp"
+#include "dist/sim_dist.hpp"
+
+namespace nlh::balance {
+
+struct sim_balance_config {
+  int steps_per_iteration = 5;   ///< timesteps between balancing decisions
+  int max_iterations = 10;
+  double cov_tol = 0.02;         ///< stop when busy-time CoV drops below this
+  dist::sim_cost_model cost;
+  dist::sim_cluster_config cluster;
+  balance_options opts;
+  /// Optional hook invoked before each iteration's measurement; mutate the
+  /// cost model (e.g. a growing crack changing sd_work_scale) or the
+  /// cluster (interference coming and going) to model dynamic workloads.
+  std::function<void(int iteration, dist::sim_cost_model&, dist::sim_cluster_config&)>
+      on_iteration;
+  /// When true, never stop early on convergence — dynamic workloads can
+  /// un-converge again, so run all max_iterations.
+  bool run_all_iterations = false;
+};
+
+struct sim_balance_iteration {
+  int iteration = 0;
+  std::vector<int> sd_counts_before;
+  std::vector<int> sd_counts_after;
+  std::vector<double> busy_time;       ///< virtual busy seconds this interval
+  std::vector<double> busy_fraction;
+  double busy_cov = 0.0;               ///< imbalance signal before balancing
+  double makespan = 0.0;
+  int sds_moved = 0;
+  bool converged = false;              ///< cov below tolerance, no balancing done
+};
+
+/// Run the measure -> balance loop, mutating `own`. The returned vector has
+/// one entry per iteration including the final converged measurement.
+std::vector<sim_balance_iteration> run_sim_balancing(const dist::tiling& t,
+                                                     dist::ownership_map& own,
+                                                     const sim_balance_config& cfg);
+
+}  // namespace nlh::balance

@@ -1,0 +1,89 @@
+#include "balance/transfer.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace nlh::balance {
+
+bool removal_keeps_connected(const dist::tiling& t, const dist::ownership_map& own,
+                             int sd, int node) {
+  NLH_ASSERT(own.owner(sd) == node);
+  // BFS over node's SDs excluding sd.
+  std::vector<int> members;
+  for (int s = 0; s < t.num_sds(); ++s)
+    if (s != sd && own.owner(s) == node) members.push_back(s);
+  if (members.empty()) return false;
+
+  std::vector<char> seen(static_cast<std::size_t>(t.num_sds()), 0);
+  std::queue<int> bfs;
+  bfs.push(members.front());
+  seen[static_cast<std::size_t>(members.front())] = 1;
+  std::size_t reached = 1;
+  while (!bfs.empty()) {
+    const int u = bfs.front();
+    bfs.pop();
+    for (const auto& [d, nb] : t.neighbors(u)) {
+      if (nb == sd || own.owner(nb) != node || seen[static_cast<std::size_t>(nb)]) continue;
+      seen[static_cast<std::size_t>(nb)] = 1;
+      ++reached;
+      bfs.push(nb);
+    }
+  }
+  return reached == members.size();
+}
+
+double transfer_score(const dist::tiling& t, const dist::ownership_map& own, int sd,
+                      int from_node, int to_node) {
+  NLH_ASSERT(own.owner(sd) == from_node);
+  int to_links = 0;
+  int from_links = 0;
+  for (const auto& [d, nb] : t.neighbors(sd)) {
+    if (own.owner(nb) == to_node) ++to_links;
+    if (own.owner(nb) == from_node) ++from_links;
+  }
+  if (to_links == 0) return -1.0;  // not on the frontier
+  // Prefer SDs deeply embedded in the borrower's boundary and loosely
+  // attached to the lender; heavily penalize disconnecting the lender.
+  double score = 10.0 * to_links - from_links;
+  if (!removal_keeps_connected(t, own, sd, from_node)) score -= 1000.0;
+  return score;
+}
+
+std::vector<sd_move> transfer_sds(const dist::tiling& t, dist::ownership_map& own,
+                                  int from_node, int to_node, int count) {
+  NLH_ASSERT(from_node >= 0 && from_node < own.num_nodes());
+  NLH_ASSERT(to_node >= 0 && to_node < own.num_nodes());
+  NLH_ASSERT(from_node != to_node);
+  NLH_ASSERT(count >= 0);
+
+  std::vector<sd_move> moves;
+  for (int step = 0; step < count; ++step) {
+    // Never empty the lender.
+    int lender_sds = 0;
+    for (int s = 0; s < t.num_sds(); ++s)
+      if (own.owner(s) == from_node) ++lender_sds;
+    if (lender_sds <= 1) break;
+
+    int best_sd = -1;
+    double best_score = 0.0;
+    for (int s = 0; s < t.num_sds(); ++s) {
+      if (own.owner(s) != from_node) continue;
+      const double score = transfer_score(t, own, s, from_node, to_node);
+      if (score < 0.0) continue;  // not adjacent to the borrower
+      if (best_sd == -1 || score > best_score ||
+          (score == best_score && s < best_sd)) {
+        best_sd = s;
+        best_score = score;
+      }
+    }
+    if (best_sd == -1) break;  // territories no longer adjacent
+
+    own.set_owner(best_sd, to_node);
+    moves.push_back(sd_move{best_sd, from_node, to_node});
+  }
+  return moves;
+}
+
+}  // namespace nlh::balance

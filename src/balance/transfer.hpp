@@ -1,0 +1,46 @@
+#pragma once
+///
+/// \file transfer.hpp
+/// \brief Contiguity-preserving SD transfer between adjacent nodes
+/// (the borrowing step of Algorithm 1, paper Fig. 6).
+///
+/// SDs move one at a time across the SP boundary: each pick is the frontier
+/// SD of the lender most strongly connected to the borrower's territory,
+/// preferring moves that keep the lender's SP connected. Re-evaluating the
+/// frontier after every move grows the borrower's territory uniformly in
+/// all spatial directions instead of carving a channel.
+///
+
+#include <vector>
+
+#include "dist/ownership.hpp"
+#include "dist/tiling.hpp"
+
+namespace nlh::balance {
+
+/// One executed move (for migration callbacks and reporting).
+struct sd_move {
+  int sd;
+  int from_node;
+  int to_node;
+};
+
+/// Move up to `count` SDs from `from_node` to `to_node`. Returns the moves
+/// actually performed (fewer when the frontier is exhausted or the lender
+/// would be emptied).
+std::vector<sd_move> transfer_sds(const dist::tiling& t, dist::ownership_map& own,
+                                  int from_node, int to_node, int count);
+
+/// Score used to rank a frontier candidate: connections into the borrower's
+/// territory minus a penalty when removing the SD disconnects the lender.
+/// Exposed for tests.
+double transfer_score(const dist::tiling& t, const dist::ownership_map& own, int sd,
+                      int from_node, int to_node);
+
+/// True when removing `sd` keeps `node`'s SP connected (8-connectivity on
+/// the SD grid). An SP of one SD counts as disconnectable (never emptied by
+/// transfer_sds anyway).
+bool removal_keeps_connected(const dist::tiling& t, const dist::ownership_map& own,
+                             int sd, int node);
+
+}  // namespace nlh::balance

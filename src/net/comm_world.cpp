@@ -1,0 +1,102 @@
+#include "net/comm_world.hpp"
+
+#include "amt/counters.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::net {
+
+comm_world::comm_world(int num_localities)
+    : bytes_(static_cast<std::size_t>(num_localities) * num_localities),
+      msgs_(static_cast<std::size_t>(num_localities) * num_localities) {
+  NLH_ASSERT(num_localities >= 1);
+  boxes_.reserve(static_cast<std::size_t>(num_localities));
+  for (int i = 0; i < num_localities; ++i) boxes_.push_back(std::make_unique<mailbox>());
+  for (auto& b : bytes_) b.store(0);
+  for (auto& m : msgs_) m.store(0);
+}
+
+std::size_t comm_world::pair_index(int src, int dst) const {
+  NLH_ASSERT(src >= 0 && src < size() && dst >= 0 && dst < size());
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(size()) +
+         static_cast<std::size_t>(dst);
+}
+
+void comm_world::send(int src, int dst, std::uint64_t tag, byte_buffer payload) {
+  const auto idx = pair_index(src, dst);
+  bytes_[idx].fetch_add(payload.size(), std::memory_order_relaxed);
+  msgs_[idx].fetch_add(1, std::memory_order_relaxed);
+  boxes_[static_cast<std::size_t>(dst)]->deliver(src, tag, std::move(payload));
+}
+
+amt::future<byte_buffer> comm_world::recv(int dst, int src, std::uint64_t tag) {
+  NLH_ASSERT(dst >= 0 && dst < size());
+  return boxes_[static_cast<std::size_t>(dst)]->recv(src, tag);
+}
+
+mailbox& comm_world::box(int locality) {
+  NLH_ASSERT(locality >= 0 && locality < size());
+  return *boxes_[static_cast<std::size_t>(locality)];
+}
+
+std::uint64_t comm_world::bytes_sent(int src, int dst) const {
+  return bytes_[pair_index(src, dst)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t comm_world::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& b : bytes_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t comm_world::messages_sent(int src, int dst) const {
+  return msgs_[pair_index(src, dst)].load(std::memory_order_relaxed);
+}
+
+void comm_world::reset_traffic() {
+  for (auto& b : bytes_) b.store(0, std::memory_order_relaxed);
+  for (auto& m : msgs_) m.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t comm_world::bytes_from(int src) const {
+  std::uint64_t total = 0;
+  for (int dst = 0; dst < size(); ++dst) total += bytes_sent(src, dst);
+  return total;
+}
+
+std::uint64_t comm_world::messages_from(int src) const {
+  std::uint64_t total = 0;
+  for (int dst = 0; dst < size(); ++dst) total += messages_sent(src, dst);
+  return total;
+}
+
+void comm_world::reset_traffic_from(int src) {
+  for (int dst = 0; dst < size(); ++dst) {
+    bytes_[pair_index(src, dst)].store(0, std::memory_order_relaxed);
+    msgs_[pair_index(src, dst)].store(0, std::memory_order_relaxed);
+  }
+}
+
+void comm_world::register_counters(const std::string& prefix) {
+  NLH_ASSERT_MSG(counter_paths_.empty(), "comm_world: counters already registered");
+  auto& reg = amt::counter_registry::instance();
+  for (int i = 0; i < size(); ++i) {
+    const std::string loc = prefix + "{locality#" + std::to_string(i) + "}";
+    const std::string bytes_path = loc + "/bytes-sent";
+    const std::string msgs_path = loc + "/messages-sent";
+    reg.register_counter(
+        bytes_path, [this, i] { return static_cast<double>(bytes_from(i)); },
+        [this, i] { reset_traffic_from(i); });
+    reg.register_counter(
+        msgs_path, [this, i] { return static_cast<double>(messages_from(i)); },
+        [this, i] { reset_traffic_from(i); });
+    counter_paths_.push_back(bytes_path);
+    counter_paths_.push_back(msgs_path);
+  }
+}
+
+comm_world::~comm_world() {
+  auto& reg = amt::counter_registry::instance();
+  for (const auto& path : counter_paths_) reg.unregister_counter(path);
+}
+
+}  // namespace nlh::net

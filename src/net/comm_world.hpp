@@ -1,0 +1,68 @@
+#pragma once
+///
+/// \file comm_world.hpp
+/// \brief K in-process localities wired by mailboxes: the distributed
+/// substrate standing in for MPI + multiple physical nodes.
+///
+/// Each locality gets its own mailbox and (externally) its own thread pool.
+/// Sends are byte-copies into the destination mailbox — the data really does
+/// leave the sender's data structures as serialized bytes, so the ghost
+/// exchange exercises the same pack/transfer/unpack path a cluster run
+/// would. Per-pair traffic counters feed the communication analysis bench.
+///
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/mailbox.hpp"
+
+namespace nlh::net {
+
+class comm_world {
+ public:
+  explicit comm_world(int num_localities);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Transfer `payload` from locality `src` to locality `dst` under `tag`.
+  /// Delivery is immediate (the performance model lives in nlh::sim).
+  void send(int src, int dst, std::uint64_t tag, byte_buffer payload);
+
+  /// Futurized receive on locality `dst` for a message from `src` with `tag`.
+  amt::future<byte_buffer> recv(int dst, int src, std::uint64_t tag);
+
+  mailbox& box(int locality);
+
+  /// Total bytes sent from src to dst since construction (or reset).
+  std::uint64_t bytes_sent(int src, int dst) const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t messages_sent(int src, int dst) const;
+  /// All bytes/messages sent *from* one locality (row sums).
+  std::uint64_t bytes_from(int src) const;
+  std::uint64_t messages_from(int src) const;
+  void reset_traffic();
+  /// Reset only the counters of messages originating at `src`.
+  void reset_traffic_from(int src);
+
+  /// Register per-locality networking counters in the global registry (the
+  /// paper's future-work item: "networking counters"). Paths:
+  ///   <prefix>{locality#i}/bytes-sent
+  ///   <prefix>{locality#i}/messages-sent
+  /// Counters are unregistered on destruction. Safe to call once.
+  void register_counters(const std::string& prefix = "/network");
+
+  ~comm_world();
+
+ private:
+  std::vector<std::string> counter_paths_;
+  std::size_t pair_index(int src, int dst) const;
+
+  std::vector<std::unique_ptr<mailbox>> boxes_;
+  std::vector<std::atomic<std::uint64_t>> bytes_;
+  std::vector<std::atomic<std::uint64_t>> msgs_;
+};
+
+}  // namespace nlh::net

@@ -1,0 +1,104 @@
+#pragma once
+///
+/// \file serializer.hpp
+/// \brief Byte-level archive for message payloads.
+///
+/// Ghost-zone exchanges between localities travel as flat byte buffers, the
+/// way they would over MPI; the archive provides portable (little-endian
+/// in-process) encode/decode of PODs, strings and vectors with a read cursor
+/// that asserts on under/overrun.
+///
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace nlh::net {
+
+using byte_buffer = std::vector<std::byte>;
+
+/// Append-only encoder.
+class archive_writer {
+ public:
+  template <class T>
+  void write(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "write: non-POD needs an overload");
+    const auto old = buf_.size();
+    buf_.resize(old + sizeof(T));
+    std::memcpy(buf_.data() + old, &v, sizeof(T));
+  }
+
+  void write(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    const auto old = buf_.size();
+    buf_.resize(old + s.size());
+    std::memcpy(buf_.data() + old, s.data(), s.size());
+  }
+
+  template <class T>
+  void write(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto old = buf_.size();
+    buf_.resize(old + v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(buf_.data() + old, v.data(), v.size() * sizeof(T));
+  }
+
+  byte_buffer take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  byte_buffer buf_;
+};
+
+/// Cursor-based decoder over a byte buffer.
+class archive_reader {
+ public:
+  explicit archive_reader(const byte_buffer& buf) : buf_(buf) {}
+  /// Deleted: the reader stores a reference; binding it to a temporary
+  /// buffer would dangle after the full expression.
+  explicit archive_reader(byte_buffer&&) = delete;
+
+  template <class T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    NLH_ASSERT_MSG(pos_ + sizeof(T) <= buf_.size(), "archive_reader: underrun");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    NLH_ASSERT_MSG(pos_ + n <= buf_.size(), "archive_reader: underrun");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <class T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = static_cast<std::size_t>(read<std::uint64_t>());
+    NLH_ASSERT_MSG(pos_ + n * sizeof(T) <= buf_.size(), "archive_reader: underrun");
+    std::vector<T> v(n);
+    if (n) std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  const byte_buffer& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace nlh::net

@@ -1,0 +1,73 @@
+#pragma once
+///
+/// \file grid2d.hpp
+/// \brief Uniform cell-centered discretization of D = [0,1]^2 with the
+/// nonlocal boundary collar Dc (paper Fig. 1).
+///
+/// Interior discrete points (DPs) are x_ij = ((i+1/2)h, (j+1/2)h) for
+/// i,j in [0,n); the collar holds `ghost` extra layers on every side where
+/// the temperature is pinned to the volumetric boundary condition u = 0
+/// (eq. 4). Fields are flat row-major arrays over the padded
+/// (n+2g) x (n+2g) box so the nonlocal stencil never branches on bounds.
+///
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+class grid2d {
+ public:
+  /// \param n        interior DPs per dimension (mesh "n x n" in the paper)
+  /// \param epsilon  nonlocal horizon (must be >= h)
+  grid2d(int n, double epsilon)
+      : n_(n), h_(1.0 / n), epsilon_(epsilon),
+        ghost_(static_cast<int>(std::ceil(epsilon / (1.0 / n) - 1e-12))) {
+    NLH_ASSERT(n >= 1);
+    NLH_ASSERT_MSG(epsilon > 0.0, "grid2d: epsilon must be positive");
+  }
+
+  int n() const { return n_; }
+  double h() const { return h_; }
+  double epsilon() const { return epsilon_; }
+  int ghost() const { return ghost_; }
+
+  /// Padded array side length.
+  int stride() const { return n_ + 2 * ghost_; }
+  std::size_t total() const {
+    return static_cast<std::size_t>(stride()) * static_cast<std::size_t>(stride());
+  }
+
+  /// Flat index of interior DP (i, j), i row (y), j column (x), in [0, n).
+  /// Collar cells are addressed with i or j in [-ghost, n+ghost).
+  std::size_t flat(int i, int j) const {
+    NLH_ASSERT(i >= -ghost_ && i < n_ + ghost_);
+    NLH_ASSERT(j >= -ghost_ && j < n_ + ghost_);
+    return static_cast<std::size_t>(i + ghost_) * static_cast<std::size_t>(stride()) +
+           static_cast<std::size_t>(j + ghost_);
+  }
+
+  /// Physical coordinates of DP (i, j) (cell centers; collar cells extend
+  /// beyond [0,1]).
+  double x(int j) const { return (j + 0.5) * h_; }
+  double y(int i) const { return (i + 0.5) * h_; }
+
+  /// Cell volume V_j = h^2 (uniform grid).
+  double cell_volume() const { return h_ * h_; }
+
+  /// Allocate a zero field over the padded box.
+  std::vector<double> make_field() const { return std::vector<double>(total(), 0.0); }
+
+  bool is_interior(int i, int j) const { return i >= 0 && i < n_ && j >= 0 && j < n_; }
+
+ private:
+  int n_;
+  double h_;
+  double epsilon_;
+  int ghost_;
+};
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,35 @@
+#include "nonlocal/nonlocal_operator.hpp"
+
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil& st, double c, const dp_rect& rect) {
+  if (rect.empty()) return;
+  NLH_ASSERT(st.reach() <= ghost);
+  const auto& entries = st.entries();
+  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    for (int j = rect.col_begin; j < rect.col_end; ++j) {
+      const double ui = urow[j];
+      double acc = 0.0;
+      for (const auto& e : entries)
+        acc += e.w * (urow[static_cast<std::ptrdiff_t>(e.di) * stride + j + e.dj] - ui);
+      orow[j] = c * acc;
+    }
+  }
+}
+
+void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,
+                             const std::vector<double>& u, std::vector<double>& out,
+                             const dp_rect& rect) {
+  NLH_ASSERT(u.size() == grid.total() && out.size() == grid.total());
+  NLH_ASSERT(rect.row_begin >= 0 && rect.row_end <= grid.n());
+  NLH_ASSERT(rect.col_begin >= 0 && rect.col_end <= grid.n());
+  apply_nonlocal_operator_raw(u.data(), out.data(), grid.stride(), grid.ghost(), st, c,
+                              rect);
+}
+
+}  // namespace nlh::nonlocal

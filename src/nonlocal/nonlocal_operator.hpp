@@ -1,0 +1,47 @@
+#pragma once
+///
+/// \file nonlocal_operator.hpp
+/// \brief The discrete nonlocal diffusion operator (right-hand side of
+/// eq. 5) applied over a rectangle of DPs.
+///
+/// L[u](x_i) = c * sum_j J(|x_j-x_i|/eps) (u_j - u_i) V_j
+///
+/// Rectangle support is what enables the distributed solver's case-1/case-2
+/// split: interior strips and boundary strips of a sub-domain are separate
+/// rectangles computed by separate tasks.
+///
+
+#include <vector>
+
+#include "nonlocal/stencil.hpp"
+
+namespace nlh::nonlocal {
+
+/// Half-open DP rectangle [row_begin, row_end) x [col_begin, col_end).
+struct dp_rect {
+  int row_begin = 0;
+  int row_end = 0;
+  int col_begin = 0;
+  int col_end = 0;
+
+  int rows() const { return row_end - row_begin; }
+  int cols() const { return col_end - col_begin; }
+  long long area() const { return static_cast<long long>(rows()) * cols(); }
+  bool empty() const { return rows() <= 0 || cols() <= 0; }
+};
+
+/// Apply L to `u` over `rect` (interior DP indices), writing c*sum into
+/// `out` at the same flat positions. `u` and `out` are padded fields from
+/// grid.make_field(). The collar of `u` must already hold boundary /
+/// ghost values.
+void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,
+                             const std::vector<double>& u, std::vector<double>& out,
+                             const dp_rect& rect);
+
+/// Generic padded-array version used by the per-SD blocks of the
+/// distributed solver: `stride` is the padded row length, `ghost` the
+/// collar width, rect indexes the unpadded interior.
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil& st, double c, const dp_rect& rect);
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,116 @@
+#include "nonlocal/one_d.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nlh::nonlocal {
+
+namespace {
+constexpr double two_pi = 2.0 * 3.14159265358979323846;
+}
+
+grid1d::grid1d(int n, double epsilon)
+    : n_(n), h_(1.0 / n), epsilon_(epsilon),
+      ghost_(static_cast<int>(std::ceil(epsilon * n - 1e-12))) {
+  NLH_ASSERT(n >= 1);
+  NLH_ASSERT(epsilon > 0.0);
+}
+
+stencil1d::stencil1d(const grid1d& grid, const influence& J) {
+  const int g = grid.ghost();
+  for (int dj = -g; dj <= g; ++dj) {
+    if (dj == 0) continue;
+    const double dist = std::abs(dj) * grid.h();
+    if (dist > grid.epsilon() + 1e-14) continue;
+    const double w = J(dist / grid.epsilon()) * grid.cell_volume();
+    entries_.emplace_back(dj, w);
+    weight_sum_ += w;
+    reach_ = std::max(reach_, std::abs(dj));
+  }
+  NLH_ASSERT_MSG(!entries_.empty(), "stencil1d: horizon smaller than grid spacing");
+}
+
+double manufactured_problem_1d::w(double t, double x) {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  return std::cos(two_pi * t) * std::sin(two_pi * x);
+}
+
+double manufactured_problem_1d::dwdt(double t, double x) {
+  if (x < 0.0 || x > 1.0) return 0.0;
+  return -two_pi * std::sin(two_pi * t) * std::sin(two_pi * x);
+}
+
+serial_solver_1d::serial_solver_1d(const solver_config_1d& cfg)
+    : cfg_(cfg),
+      grid_(cfg.n, cfg.epsilon_factor / cfg.n),
+      J_(cfg.kind),
+      stencil_(grid_, J_),
+      c_(J_.scaling_constant(1, cfg.conductivity, grid_.epsilon())),
+      dt_(cfg.dt_safety / (c_ * stencil_.weight_sum())),
+      u_(grid_.make_field()),
+      scratch_w_(grid_.make_field()),
+      scratch_lw_(grid_.make_field()),
+      scratch_lu_(grid_.make_field()) {
+  NLH_ASSERT(cfg.num_steps >= 1);
+}
+
+void serial_solver_1d::set_initial_condition() {
+  for (int i = 0; i < grid_.n(); ++i)
+    u_[grid_.flat(i)] = manufactured_problem_1d::u0(grid_.x(i));
+}
+
+void serial_solver_1d::apply_operator(const std::vector<double>& u,
+                                      std::vector<double>& out) const {
+  NLH_ASSERT(u.size() == grid_.total() && out.size() == grid_.total());
+  for (int i = 0; i < grid_.n(); ++i) {
+    const double ui = u[grid_.flat(i)];
+    double acc = 0.0;
+    for (const auto& [dj, w] : stencil_.entries())
+      acc += w * (u[grid_.flat(i + dj)] - ui);
+    out[grid_.flat(i)] = c_ * acc;
+  }
+}
+
+void serial_solver_1d::step(int step_index) {
+  const double t = step_index * dt_;
+  // Discrete manufactured source: b = dw/dt - L_h[w].
+  for (int i = -grid_.ghost(); i < grid_.n() + grid_.ghost(); ++i)
+    scratch_w_[grid_.flat(i)] = manufactured_problem_1d::w(t, grid_.x(i));
+  apply_operator(scratch_w_, scratch_lw_);
+  apply_operator(u_, scratch_lu_);
+  for (int i = 0; i < grid_.n(); ++i) {
+    const auto idx = grid_.flat(i);
+    const double b = manufactured_problem_1d::dwdt(t, grid_.x(i)) - scratch_lw_[idx];
+    u_[idx] += dt_ * (b + scratch_lu_[idx]);
+  }
+}
+
+solve_result_1d serial_solver_1d::run() {
+  set_initial_condition();
+  solve_result_1d res;
+  res.dt = dt_;
+  for (int k = 0; k < cfg_.num_steps; ++k) {
+    step(k);
+    const double t = (k + 1) * dt_;
+    double ek = 0.0;
+    for (int i = 0; i < grid_.n(); ++i) {
+      const double d =
+          manufactured_problem_1d::w(t, grid_.x(i)) - u_[grid_.flat(i)];
+      ek += d * d;
+    }
+    ek *= grid_.cell_volume();  // h^d with d = 1 (eq. 7)
+    res.total_error_e += ek;
+    res.final_ek = ek;
+  }
+  const double t_final = cfg_.num_steps * dt_;
+  double max_diff = 0.0, max_exact = 0.0;
+  for (int i = 0; i < grid_.n(); ++i) {
+    const double exact = manufactured_problem_1d::w(t_final, grid_.x(i));
+    max_diff = std::max(max_diff, std::abs(exact - u_[grid_.flat(i)]));
+    max_exact = std::max(max_exact, std::abs(exact));
+  }
+  res.max_relative_error = max_exact > 0.0 ? max_diff / max_exact : 0.0;
+  return res;
+}
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,117 @@
+#pragma once
+///
+/// \file one_d.hpp
+/// \brief The 1-D nonlocal diffusion equation — the d = 1 case of the
+/// paper's model (eq. 1-2 define the scaling constant for both dimensions).
+///
+/// Used as a small, fully analytic companion to the 2-D solver: same
+/// epsilon-ball structure, same manufactured-solution methodology, one
+/// dimension fewer. Domain D = [0,1] with the collar Dc = (-eps, 0) u
+/// (1, 1+eps) where u = 0.
+///
+
+#include <vector>
+
+#include "nonlocal/influence.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+class grid1d {
+ public:
+  grid1d(int n, double epsilon);
+
+  int n() const { return n_; }
+  double h() const { return h_; }
+  double epsilon() const { return epsilon_; }
+  int ghost() const { return ghost_; }
+  std::size_t total() const { return static_cast<std::size_t>(n_ + 2 * ghost_); }
+
+  /// Flat index of DP i, i in [-ghost, n+ghost).
+  std::size_t flat(int i) const {
+    NLH_ASSERT(i >= -ghost_ && i < n_ + ghost_);
+    return static_cast<std::size_t>(i + ghost_);
+  }
+
+  double x(int i) const { return (i + 0.5) * h_; }
+  double cell_volume() const { return h_; }
+  std::vector<double> make_field() const { return std::vector<double>(total(), 0.0); }
+
+ private:
+  int n_;
+  double h_;
+  double epsilon_;
+  int ghost_;
+};
+
+/// Precomputed 1-D interaction stencil: offsets dj != 0 with |dj| h <= eps,
+/// weights J(|dj| h / eps) * h.
+class stencil1d {
+ public:
+  stencil1d(const grid1d& grid, const influence& J);
+
+  const std::vector<std::pair<int, double>>& entries() const { return entries_; }
+  double weight_sum() const { return weight_sum_; }
+  int reach() const { return reach_; }
+
+ private:
+  std::vector<std::pair<int, double>> entries_;
+  double weight_sum_ = 0.0;
+  int reach_ = 0;
+};
+
+/// Manufactured solution w(t,x) = cos(2 pi t) sin(2 pi x) on D, 0 outside.
+struct manufactured_problem_1d {
+  static double w(double t, double x);
+  static double dwdt(double t, double x);
+  static double u0(double x) { return w(0.0, x); }
+};
+
+struct solve_result_1d {
+  double total_error_e = 0.0;
+  double final_ek = 0.0;
+  double max_relative_error = 0.0;
+  double dt = 0.0;
+};
+
+struct solver_config_1d {
+  int n = 64;
+  double epsilon_factor = 4;
+  double conductivity = 1.0;
+  double dt_safety = 0.5;
+  int num_steps = 20;
+  influence_kind kind = influence_kind::constant;
+};
+
+/// Forward-Euler solver for the 1-D model with the discrete manufactured
+/// source (same methodology as the 2-D serial_solver).
+class serial_solver_1d {
+ public:
+  explicit serial_solver_1d(const solver_config_1d& cfg);
+
+  const grid1d& grid() const { return grid_; }
+  double dt() const { return dt_; }
+  double scaling_constant() const { return c_; }
+  const std::vector<double>& field() const { return u_; }
+
+  void set_initial_condition();
+  void step(int step_index);
+  solve_result_1d run();
+
+  /// L_h[u](x_i) for all interior i into out (c * stencil sum).
+  void apply_operator(const std::vector<double>& u, std::vector<double>& out) const;
+
+ private:
+  solver_config_1d cfg_;
+  grid1d grid_;
+  influence J_;
+  stencil1d stencil_;
+  double c_;
+  double dt_;
+  std::vector<double> u_;
+  std::vector<double> scratch_w_;
+  std::vector<double> scratch_lw_;
+  std::vector<double> scratch_lu_;
+};
+
+}  // namespace nlh::nonlocal

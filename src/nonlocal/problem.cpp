@@ -1,0 +1,54 @@
+#include "nonlocal/problem.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+namespace {
+constexpr double two_pi = 2.0 * 3.14159265358979323846;
+}
+
+double manufactured_problem::w(double t, double x1, double x2) {
+  if (x1 < 0.0 || x1 > 1.0 || x2 < 0.0 || x2 > 1.0) return 0.0;
+  return std::cos(two_pi * t) * std::sin(two_pi * x1) * std::sin(two_pi * x2);
+}
+
+double manufactured_problem::dwdt(double t, double x1, double x2) {
+  if (x1 < 0.0 || x1 > 1.0 || x2 < 0.0 || x2 > 1.0) return 0.0;
+  return -two_pi * std::sin(two_pi * t) * std::sin(two_pi * x1) * std::sin(two_pi * x2);
+}
+
+double manufactured_problem::u0(double x1, double x2) { return w(0.0, x1, x2); }
+
+std::vector<double> manufactured_problem::exact_field(double t) const {
+  auto field = grid_->make_field();
+  for (int i = 0; i < grid_->n(); ++i)
+    for (int j = 0; j < grid_->n(); ++j)
+      field[grid_->flat(i, j)] = w(t, grid_->x(j), grid_->y(i));
+  return field;
+}
+
+void manufactured_problem::source_into(double t, const std::vector<double>& w_field,
+                                       std::vector<double>& out,
+                                       const dp_rect& rect) const {
+  NLH_ASSERT(w_field.size() == grid_->total());
+  NLH_ASSERT(out.size() == grid_->total());
+  // out <- L_h[w] over rect, then b = dw/dt - out.
+  apply_nonlocal_operator(*grid_, *stencil_, c_, w_field, out, rect);
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j) {
+      const auto idx = grid_->flat(i, j);
+      out[idx] = dwdt(t, grid_->x(j), grid_->y(i)) - out[idx];
+    }
+}
+
+std::vector<double> manufactured_problem::source_field(double t) const {
+  auto wf = exact_field(t);
+  auto out = grid_->make_field();
+  source_into(t, wf, out, dp_rect{0, grid_->n(), 0, grid_->n()});
+  return out;
+}
+
+}  // namespace nlh::nonlocal

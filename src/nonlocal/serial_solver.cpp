@@ -1,0 +1,124 @@
+#include "nonlocal/serial_solver.hpp"
+
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+serial_solver::serial_solver(const solver_config& cfg)
+    : cfg_(cfg),
+      grid_(cfg.n, cfg.epsilon_factor / cfg.n),
+      J_(cfg.kind),
+      stencil_(grid_, J_),
+      c_(J_.scaling_constant(2, cfg.conductivity, grid_.epsilon())),
+      dt_(cfg.dt > 0.0 ? cfg.dt : cfg.dt_safety * stable_dt(c_, stencil_)),
+      problem_(grid_, stencil_, c_),
+      u_(grid_.make_field()),
+      lu_(grid_.make_field()),
+      w_scratch_(grid_.make_field()),
+      b_scratch_(grid_.make_field()) {
+  NLH_ASSERT(cfg.num_steps >= 1);
+}
+
+void serial_solver::set_initial_condition() {
+  for (int i = 0; i < grid_.n(); ++i)
+    for (int j = 0; j < grid_.n(); ++j)
+      u_[grid_.flat(i, j)] = manufactured_problem::u0(grid_.x(j), grid_.y(i));
+}
+
+void serial_solver::set_field(std::vector<double> u) {
+  NLH_ASSERT(u.size() == grid_.total());
+  u_ = std::move(u);
+}
+
+void serial_solver::eval_rhs(double t, const std::vector<double>& u,
+                             std::vector<double>& out) {
+  NLH_ASSERT(u.size() == grid_.total() && out.size() == grid_.total());
+  const dp_rect all{0, grid_.n(), 0, grid_.n()};
+
+  // b(t) manufactured at the discrete level from w(t).
+  for (int i = 0; i < grid_.n(); ++i)
+    for (int j = 0; j < grid_.n(); ++j)
+      w_scratch_[grid_.flat(i, j)] =
+          manufactured_problem::w(t, grid_.x(j), grid_.y(i));
+  problem_.source_into(t, w_scratch_, b_scratch_, all);
+
+  // out = L_h u + b.
+  apply_nonlocal_operator(grid_, stencil_, c_, u, out, all);
+  for (int i = 0; i < grid_.n(); ++i)
+    for (int j = 0; j < grid_.n(); ++j) {
+      const auto idx = grid_.flat(i, j);
+      out[idx] += b_scratch_[idx];
+    }
+}
+
+void serial_solver::step(int step_index) {
+  const double t = step_index * dt_;
+  const int n = grid_.n();
+
+  // Interior-only axpy; the collar keeps the volumetric boundary condition
+  // u = 0 (eq. 4) on every stage.
+  auto axpy = [&](std::vector<double>& y, double a, const std::vector<double>& x) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        const auto idx = grid_.flat(i, j);
+        y[idx] += a * x[idx];
+      }
+  };
+
+  switch (cfg_.integrator) {
+    case time_integrator::forward_euler: {
+      eval_rhs(t, u_, lu_);
+      axpy(u_, dt_, lu_);
+      break;
+    }
+    case time_integrator::rk2_midpoint: {
+      eval_rhs(t, u_, lu_);            // k1
+      auto stage = u_;
+      axpy(stage, 0.5 * dt_, lu_);     // u + dt/2 k1
+      eval_rhs(t + 0.5 * dt_, stage, lu_);  // k2
+      axpy(u_, dt_, lu_);
+      break;
+    }
+    case time_integrator::rk4_classic: {
+      auto k1 = grid_.make_field();
+      auto k2 = grid_.make_field();
+      auto k3 = grid_.make_field();
+      auto k4 = grid_.make_field();
+      eval_rhs(t, u_, k1);
+      auto stage = u_;
+      axpy(stage, 0.5 * dt_, k1);
+      eval_rhs(t + 0.5 * dt_, stage, k2);
+      stage = u_;
+      axpy(stage, 0.5 * dt_, k2);
+      eval_rhs(t + 0.5 * dt_, stage, k3);
+      stage = u_;
+      axpy(stage, dt_, k3);
+      eval_rhs(t + dt_, stage, k4);
+      axpy(u_, dt_ / 6.0, k1);
+      axpy(u_, dt_ / 3.0, k2);
+      axpy(u_, dt_ / 3.0, k3);
+      axpy(u_, dt_ / 6.0, k4);
+      break;
+    }
+  }
+}
+
+solve_result serial_solver::run() {
+  set_initial_condition();
+  error_accumulator acc;
+  for (int k = 0; k < cfg_.num_steps; ++k) {
+    step(k);
+    const auto exact = problem_.exact_field((k + 1) * dt_);
+    acc.add_step(error_ek(grid_, exact, u_));
+  }
+  const auto exact = problem_.exact_field(cfg_.num_steps * dt_);
+  solve_result res;
+  res.total_error_e = acc.total();
+  res.final_ek = error_ek(grid_, exact, u_);
+  res.max_relative_error = error_max_relative(grid_, exact, u_);
+  res.dt = dt_;
+  res.steps = cfg_.num_steps;
+  return res;
+}
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,184 @@
+#include "nonlocal/steady_state.hpp"
+
+#include <cmath>
+
+#include "nonlocal/nonlocal_operator.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+namespace {
+
+/// Interior dot product over padded fields.
+double dot_interior(const grid2d& g, const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double s = 0.0;
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j) {
+      const auto idx = g.flat(i, j);
+      s += a[idx] * b[idx];
+    }
+  return s;
+}
+
+}  // namespace
+
+cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
+                             const std::vector<double>& b, std::vector<double>& u,
+                             const cg_options& opt) {
+  NLH_ASSERT(b.size() == grid.total());
+  NLH_ASSERT(u.size() == grid.total());
+  const dp_rect all{0, grid.n(), 0, grid.n()};
+
+  // A x := -L_h x (SPD). Residual r = b - A u = b + L_h u.
+  auto apply_A = [&](const std::vector<double>& x, std::vector<double>& out) {
+    apply_nonlocal_operator(grid, st, c, x, out, all);
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        out[idx] = -out[idx];
+      }
+  };
+
+  auto r = grid.make_field();
+  auto Ap = grid.make_field();
+  apply_A(u, Ap);
+  for (int i = 0; i < grid.n(); ++i)
+    for (int j = 0; j < grid.n(); ++j) {
+      const auto idx = grid.flat(i, j);
+      r[idx] = b[idx] - Ap[idx];
+    }
+  auto p = r;
+
+  double rr = dot_interior(grid, r, r);
+  const double rr0 = rr;
+  cg_result res;
+  if (rr0 == 0.0) {
+    res.converged = true;
+    return res;
+  }
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    apply_A(p, Ap);
+    const double pAp = dot_interior(grid, p, Ap);
+    NLH_ASSERT_MSG(pAp > 0.0, "CG: operator not positive definite");
+    const double alpha = rr / pAp;
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        u[idx] += alpha * p[idx];
+        r[idx] -= alpha * Ap[idx];
+      }
+    const double rr_new = dot_interior(grid, r, r);
+    res.iterations = it + 1;
+    if (rr_new <= opt.tolerance * opt.tolerance * rr0) {
+      res.converged = true;
+      rr = rr_new;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        p[idx] = r[idx] + beta * p[idx];
+      }
+  }
+  res.residual_norm = std::sqrt(rr);
+  return res;
+}
+
+cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
+                              double dt, const std::vector<double>& b_next,
+                              std::vector<double>& u, const cg_options& opt) {
+  NLH_ASSERT(dt > 0.0);
+  NLH_ASSERT(b_next.size() == grid.total());
+  NLH_ASSERT(u.size() == grid.total());
+  const dp_rect all{0, grid.n(), 0, grid.n()};
+
+  // A x := (I - dt L_h) x — SPD for any dt (I plus dt times the SPD -L_h).
+  auto apply_A = [&](const std::vector<double>& x, std::vector<double>& out) {
+    apply_nonlocal_operator(grid, st, c, x, out, all);
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        out[idx] = x[idx] - dt * out[idx];
+      }
+  };
+
+  // rhs = u^k + dt b^{k+1}.
+  auto rhs = grid.make_field();
+  for (int i = 0; i < grid.n(); ++i)
+    for (int j = 0; j < grid.n(); ++j) {
+      const auto idx = grid.flat(i, j);
+      rhs[idx] = u[idx] + dt * b_next[idx];
+    }
+
+  // CG on A with warm start u^k (plain restatement of solve_steady_state's
+  // loop with the shifted operator).
+  auto r = grid.make_field();
+  auto Ap = grid.make_field();
+  apply_A(u, Ap);
+  for (int i = 0; i < grid.n(); ++i)
+    for (int j = 0; j < grid.n(); ++j) {
+      const auto idx = grid.flat(i, j);
+      r[idx] = rhs[idx] - Ap[idx];
+    }
+  auto p = r;
+  double rr = dot_interior(grid, r, r);
+  const double rr0 = rr;
+  cg_result res;
+  if (rr0 == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    apply_A(p, Ap);
+    const double pAp = dot_interior(grid, p, Ap);
+    NLH_ASSERT_MSG(pAp > 0.0, "implicit Euler: operator not positive definite");
+    const double alpha = rr / pAp;
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        u[idx] += alpha * p[idx];
+        r[idx] -= alpha * Ap[idx];
+      }
+    const double rr_new = dot_interior(grid, r, r);
+    res.iterations = it + 1;
+    if (rr_new <= opt.tolerance * opt.tolerance * rr0) {
+      res.converged = true;
+      rr = rr_new;
+      break;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (int i = 0; i < grid.n(); ++i)
+      for (int j = 0; j < grid.n(); ++j) {
+        const auto idx = grid.flat(i, j);
+        p[idx] = r[idx] + beta * p[idx];
+      }
+  }
+  res.residual_norm = std::sqrt(rr);
+  return res;
+}
+
+std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
+    const grid2d& grid, const stencil& st, double c) {
+  constexpr double two_pi = 2.0 * 3.14159265358979323846;
+  auto ustar = grid.make_field();
+  for (int i = 0; i < grid.n(); ++i)
+    for (int j = 0; j < grid.n(); ++j)
+      ustar[grid.flat(i, j)] =
+          std::sin(two_pi * grid.x(j)) * std::sin(two_pi * grid.y(i));
+
+  auto b = grid.make_field();
+  apply_nonlocal_operator(grid, st, c, ustar, b, {0, grid.n(), 0, grid.n()});
+  for (int i = 0; i < grid.n(); ++i)
+    for (int j = 0; j < grid.n(); ++j) {
+      const auto idx = grid.flat(i, j);
+      b[idx] = -b[idx];
+    }
+  return {std::move(b), std::move(ustar)};
+}
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,51 @@
+#pragma once
+///
+/// \file steady_state.hpp
+/// \brief Steady-state nonlocal diffusion: solve -L_h u = b with zero
+/// volumetric boundary data by conjugate gradient.
+///
+/// -L_h is symmetric positive definite on the interior DPs under the
+/// volume constraint u = 0 on Dc (the quadratic form is
+/// (c/2) sum_ij J w_ij (u_i - u_j)^2 plus boundary coupling), so CG
+/// converges without preconditioning; the condition number grows as the
+/// horizon shrinks. Complements the transient forward-Euler solver.
+///
+
+#include <vector>
+
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/stencil.hpp"
+
+namespace nlh::nonlocal {
+
+struct cg_result {
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b + L u||_2 (discrete)
+  bool converged = false;
+};
+
+struct cg_options {
+  int max_iterations = 1000;
+  double tolerance = 1e-10;  ///< relative residual reduction target
+};
+
+/// Solve -L_h u = b for u (padded fields; interior entries of b used,
+/// interior of u written, collar kept at 0). Returns convergence info.
+cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
+                             const std::vector<double>& b, std::vector<double>& u,
+                             const cg_options& opt = {});
+
+/// Manufactured steady problem: u*(x) = sin(2 pi x1) sin(2 pi x2),
+/// b = -L_h u* computed discretely; returns (b, u*) as padded fields.
+std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
+    const grid2d& grid, const stencil& st, double c);
+
+/// One backward-Euler step: solve (I - dt L_h) u^{k+1} = u^k + dt b^{k+1}
+/// by CG. Unconditionally stable — dt may exceed the explicit bound
+/// 1/(c * weight_sum) by orders of magnitude. `u` holds u^k on entry and
+/// u^{k+1} on exit; `b_next` is the source at t_{k+1} (padded field).
+cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
+                              double dt, const std::vector<double>& b_next,
+                              std::vector<double>& u, const cg_options& opt = {});
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,27 @@
+#include "nonlocal/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nlh::nonlocal {
+
+stencil::stencil(const grid2d& grid, const influence& J) {
+  const double h = grid.h();
+  const double eps = grid.epsilon();
+  const int g = grid.ghost();
+  for (int di = -g; di <= g; ++di) {
+    for (int dj = -g; dj <= g; ++dj) {
+      if (di == 0 && dj == 0) continue;
+      const double dist = std::sqrt(static_cast<double>(di) * di +
+                                    static_cast<double>(dj) * dj) * h;
+      if (dist > eps + 1e-14) continue;
+      const double w = J(dist / eps) * grid.cell_volume();
+      entries_.push_back(stencil_entry{di, dj, w});
+      weight_sum_ += w;
+      reach_ = std::max({reach_, std::abs(di), std::abs(dj)});
+    }
+  }
+  NLH_ASSERT_MSG(!entries_.empty(), "stencil: horizon smaller than grid spacing");
+}
+
+}  // namespace nlh::nonlocal

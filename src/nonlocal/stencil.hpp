@@ -1,0 +1,54 @@
+#pragma once
+///
+/// \file stencil.hpp
+/// \brief Precomputed epsilon-ball interaction stencil.
+///
+/// The discrete nonlocal operator (eq. 5) sums over every DP within the
+/// horizon: j such that |x_j - x_i| <= epsilon. On a uniform grid the offset
+/// set is identical for every interior DP, so it is computed once. Each
+/// entry carries the combined weight J(|dx|/eps) * V_j, and the weight sum
+/// gives the forward-Euler stability bound.
+///
+
+#include <vector>
+
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/influence.hpp"
+
+namespace nlh::nonlocal {
+
+struct stencil_entry {
+  int di;     ///< row offset
+  int dj;     ///< column offset
+  double w;   ///< J(|dx|/eps) * cell volume
+};
+
+class stencil {
+ public:
+  /// Build the offset list for `grid` with influence `J`.
+  stencil(const grid2d& grid, const influence& J);
+
+  const std::vector<stencil_entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sum of weights; the forward-Euler step is monotone (and stable) when
+  /// dt * c * weight_sum <= 1.
+  double weight_sum() const { return weight_sum_; }
+
+  /// Maximum |di| / |dj| over entries — the ghost width actually needed.
+  int reach() const { return reach_; }
+
+ private:
+  std::vector<stencil_entry> entries_;
+  double weight_sum_ = 0.0;
+  int reach_ = 0;
+};
+
+/// Largest stable forward-Euler timestep for scaling constant c.
+inline double stable_dt(double c, const stencil& st) {
+  const double denom = c * st.weight_sum();
+  NLH_ASSERT(denom > 0.0);
+  return 1.0 / denom;
+}
+
+}  // namespace nlh::nonlocal

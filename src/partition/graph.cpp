@@ -1,0 +1,65 @@
+#include "partition/graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/assert.hpp"
+
+namespace nlh::partition {
+
+graph graph::from_adjacency(
+    const std::vector<std::vector<std::pair<vid, weight_t>>>& adj,
+    std::vector<weight_t> vertex_weights) {
+  const auto n = adj.size();
+  if (vertex_weights.empty()) vertex_weights.assign(n, 1.0);
+  NLH_ASSERT_MSG(vertex_weights.size() == n, "graph: vertex weight count mismatch");
+
+  // Symmetrize into a map per vertex, merging duplicates.
+  std::vector<std::map<vid, weight_t>> sym(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : adj[u]) {
+      NLH_ASSERT_MSG(v >= 0 && static_cast<std::size_t>(v) < n, "graph: edge endpoint out of range");
+      NLH_ASSERT_MSG(static_cast<std::size_t>(v) != u, "graph: self-loop");
+      NLH_ASSERT_MSG(w > 0, "graph: non-positive edge weight");
+      sym[u][v] += w;
+      sym[static_cast<std::size_t>(v)][static_cast<vid>(u)] += w;
+    }
+  }
+  // Contract: each undirected edge is listed exactly once (in either
+  // direction); the symmetrization above then stores equal weight on both.
+
+  graph g;
+  g.vwgt_ = std::move(vertex_weights);
+  g.total_vwgt_ = 0;
+  for (weight_t w : g.vwgt_) {
+    NLH_ASSERT_MSG(w >= 0, "graph: negative vertex weight");
+    g.total_vwgt_ += w;
+  }
+
+  g.xadj_.resize(n + 1, 0);
+  for (std::size_t u = 0; u < n; ++u)
+    g.xadj_[u + 1] = g.xadj_[u] + static_cast<std::int64_t>(sym[u].size());
+  g.adjncy_.reserve(static_cast<std::size_t>(g.xadj_[n]));
+  g.adjwgt_.reserve(static_cast<std::size_t>(g.xadj_[n]));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : sym[u]) {
+      g.adjncy_.push_back(v);
+      g.adjwgt_.push_back(w);
+    }
+  }
+  return g;
+}
+
+weight_t graph::incident_weight(vid u) const {
+  weight_t total = 0;
+  for (auto e = xadj(u); e < xadj(u + 1); ++e) total += adjwgt(e);
+  return total;
+}
+
+bool graph::has_edge(vid u, vid v) const {
+  for (auto e = xadj(u); e < xadj(u + 1); ++e)
+    if (adjncy(e) == v) return true;
+  return false;
+}
+
+}  // namespace nlh::partition

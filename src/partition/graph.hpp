@@ -1,0 +1,62 @@
+#pragma once
+///
+/// \file graph.hpp
+/// \brief Compressed-sparse-row undirected graph with vertex and edge
+/// weights — the input format of the partitioner (METIS-compatible shape).
+///
+
+#include <cstdint>
+#include <vector>
+
+namespace nlh::partition {
+
+using vid = std::int32_t;   ///< vertex id
+using weight_t = double;    ///< vertex / edge weight
+
+/// Immutable undirected graph in CSR form. Every undirected edge {u,v} is
+/// stored twice (u->v and v->u) with equal weight, as METIS expects.
+class graph {
+ public:
+  graph() = default;
+
+  /// Build from per-vertex adjacency (u -> list of (v, edge weight)). The
+  /// builder symmetrizes and validates: self-loops are rejected, duplicate
+  /// edges merged by summing weights.
+  static graph from_adjacency(
+      const std::vector<std::vector<std::pair<vid, weight_t>>>& adj,
+      std::vector<weight_t> vertex_weights = {});
+
+  vid num_vertices() const { return static_cast<vid>(xadj_.empty() ? 0 : xadj_.size() - 1); }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(adjncy_.size()) / 2; }
+
+  /// Neighbor range of u: indices [xadj(u), xadj(u+1)) into adjncy/adjwgt.
+  std::int64_t xadj(vid u) const { return xadj_[static_cast<std::size_t>(u)]; }
+  vid adjncy(std::int64_t e) const { return adjncy_[static_cast<std::size_t>(e)]; }
+  weight_t adjwgt(std::int64_t e) const { return adjwgt_[static_cast<std::size_t>(e)]; }
+
+  weight_t vwgt(vid u) const { return vwgt_[static_cast<std::size_t>(u)]; }
+  weight_t total_vwgt() const { return total_vwgt_; }
+
+  vid degree(vid u) const {
+    return static_cast<vid>(xadj_[static_cast<std::size_t>(u) + 1] -
+                            xadj_[static_cast<std::size_t>(u)]);
+  }
+
+  /// Sum of edge weights incident to u.
+  weight_t incident_weight(vid u) const;
+
+  /// True if an edge {u, v} exists (linear scan of u's neighbors).
+  bool has_edge(vid u, vid v) const;
+
+ private:
+  std::vector<std::int64_t> xadj_;  ///< size V+1
+  std::vector<vid> adjncy_;         ///< size 2E
+  std::vector<weight_t> adjwgt_;    ///< size 2E
+  std::vector<weight_t> vwgt_;      ///< size V
+  weight_t total_vwgt_ = 0;
+};
+
+/// Partition vector: part[v] in [0, k). Helper alias used across modules.
+using partition_vector = std::vector<int>;
+
+}  // namespace nlh::partition

@@ -1,0 +1,84 @@
+#include "partition/mesh_dual.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace nlh::partition {
+
+graph build_mesh_dual(const mesh_dual_options& opt) {
+  NLH_ASSERT(opt.sd_rows >= 1 && opt.sd_cols >= 1);
+  NLH_ASSERT(opt.sd_size >= 1 && opt.ghost_width >= 0);
+  const auto n = static_cast<std::size_t>(opt.sd_rows) * static_cast<std::size_t>(opt.sd_cols);
+
+  std::vector<weight_t> vwgt;
+  if (!opt.sd_work.empty()) {
+    NLH_ASSERT_MSG(opt.sd_work.size() == n, "mesh_dual: sd_work size mismatch");
+    vwgt = opt.sd_work;
+  } else {
+    vwgt.assign(n, static_cast<weight_t>(opt.sd_size) * opt.sd_size);
+  }
+
+  const auto side_w =
+      static_cast<weight_t>(opt.sd_size) * std::max(opt.ghost_width, 1);
+  const auto corner_w =
+      static_cast<weight_t>(std::max(opt.ghost_width, 1)) * std::max(opt.ghost_width, 1);
+
+  std::vector<std::vector<std::pair<vid, weight_t>>> adj(n);
+  for (int r = 0; r < opt.sd_rows; ++r) {
+    for (int c = 0; c < opt.sd_cols; ++c) {
+      const vid u = sd_index(r, c, opt.sd_cols);
+      // List each undirected edge once: only to the right/down/diagonal
+      // neighbors with larger index.
+      if (c + 1 < opt.sd_cols)
+        adj[static_cast<std::size_t>(u)].emplace_back(sd_index(r, c + 1, opt.sd_cols), side_w);
+      if (r + 1 < opt.sd_rows)
+        adj[static_cast<std::size_t>(u)].emplace_back(sd_index(r + 1, c, opt.sd_cols), side_w);
+      if (opt.include_diagonals && opt.ghost_width > 0) {
+        if (r + 1 < opt.sd_rows && c + 1 < opt.sd_cols)
+          adj[static_cast<std::size_t>(u)].emplace_back(sd_index(r + 1, c + 1, opt.sd_cols),
+                                                        corner_w);
+        if (r + 1 < opt.sd_rows && c - 1 >= 0)
+          adj[static_cast<std::size_t>(u)].emplace_back(sd_index(r + 1, c - 1, opt.sd_cols),
+                                                        corner_w);
+      }
+    }
+  }
+  return graph::from_adjacency(adj, std::move(vwgt));
+}
+
+masked_dual build_mesh_dual_masked(const mesh_dual_options& opt,
+                                   const std::vector<char>& active) {
+  NLH_ASSERT(opt.sd_rows >= 1 && opt.sd_cols >= 1);
+  const auto n = static_cast<std::size_t>(opt.sd_rows) * static_cast<std::size_t>(opt.sd_cols);
+  NLH_ASSERT_MSG(active.size() == n, "masked_dual: mask size mismatch");
+
+  masked_dual out;
+  out.to_vertex.assign(n, -1);
+  for (std::size_t sd = 0; sd < n; ++sd) {
+    if (!active[sd]) continue;
+    out.to_vertex[sd] = static_cast<vid>(out.to_sd.size());
+    out.to_sd.push_back(static_cast<vid>(sd));
+  }
+  NLH_ASSERT_MSG(!out.to_sd.empty(), "masked_dual: no active SDs");
+
+  // Build the full dual once, then project edges between active SDs.
+  const graph full = build_mesh_dual(opt);
+  std::vector<std::vector<std::pair<vid, weight_t>>> adj(out.to_sd.size());
+  std::vector<weight_t> vwgt(out.to_sd.size());
+  for (std::size_t v = 0; v < out.to_sd.size(); ++v) {
+    const vid sd = out.to_sd[v];
+    vwgt[v] = full.vwgt(sd);
+    for (auto e = full.xadj(sd); e < full.xadj(sd + 1); ++e) {
+      const vid nb = full.adjncy(e);
+      if (sd >= nb) continue;  // list each undirected edge once
+      const vid nbv = out.to_vertex[static_cast<std::size_t>(nb)];
+      if (nbv == -1) continue;  // neighbor outside the material
+      adj[v].emplace_back(nbv, full.adjwgt(e));
+    }
+  }
+  out.g = graph::from_adjacency(adj, std::move(vwgt));
+  return out;
+}
+
+}  // namespace nlh::partition

@@ -1,0 +1,48 @@
+#pragma once
+///
+/// \file mesh_dual.hpp
+/// \brief Dual graph of a rectangular sub-domain (SD) grid — the
+/// METIS_PartMeshDual equivalent for the paper's square SD tiling.
+///
+/// Vertices are SDs (row-major over an R x C SD grid); edges connect SDs
+/// whose ghost regions overlap given the nonlocal horizon. Edge weights are
+/// proportional to the number of DPs exchanged across that boundary, so
+/// minimizing weighted edge cut minimizes ghost traffic.
+///
+
+#include "partition/graph.hpp"
+
+namespace nlh::partition {
+
+struct mesh_dual_options {
+  int sd_rows = 1;          ///< SDs along Y
+  int sd_cols = 1;          ///< SDs along X
+  int sd_size = 1;          ///< DPs per SD side (square SDs)
+  int ghost_width = 1;      ///< DP layers exchanged (= ceil(epsilon/h))
+  bool include_diagonals = true;  ///< corner exchanges (epsilon ball clips corners)
+  std::vector<weight_t> sd_work;  ///< optional per-SD vertex weight (default: DP count)
+};
+
+/// Build the SD dual graph. Side edges weigh sd_size * ghost_width DPs;
+/// diagonal edges weigh ghost_width^2 DPs (the corner block).
+graph build_mesh_dual(const mesh_dual_options& opt);
+
+/// Dual graph of a masked (non-rectangular) SD domain. Vertices are only
+/// the active SDs; `to_sd[v]` maps a graph vertex back to its row-major SD
+/// id and `to_vertex[sd]` the inverse (-1 for inactive SDs).
+struct masked_dual {
+  graph g;
+  std::vector<vid> to_sd;
+  std::vector<vid> to_vertex;
+};
+
+/// \param active one flag per row-major SD; size must be sd_rows*sd_cols.
+masked_dual build_mesh_dual_masked(const mesh_dual_options& opt,
+                                   const std::vector<char>& active);
+
+/// Row-major SD index helpers.
+inline vid sd_index(int row, int col, int sd_cols) { return row * sd_cols + col; }
+inline int sd_row(vid v, int sd_cols) { return v / sd_cols; }
+inline int sd_col(vid v, int sd_cols) { return v % sd_cols; }
+
+}  // namespace nlh::partition

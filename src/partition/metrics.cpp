@@ -1,0 +1,83 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace nlh::partition {
+
+void validate_partition(const graph& g, const partition_vector& part, int k) {
+  NLH_ASSERT_MSG(static_cast<vid>(part.size()) == g.num_vertices(),
+                 "partition size != vertex count");
+  for (int p : part) NLH_ASSERT_MSG(p >= 0 && p < k, "part id out of range");
+}
+
+weight_t edge_cut(const graph& g, const partition_vector& part) {
+  weight_t cut = 0;
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    for (auto e = g.xadj(u); e < g.xadj(u + 1); ++e) {
+      const vid v = g.adjncy(e);
+      if (u < v && part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)])
+        cut += g.adjwgt(e);
+    }
+  return cut;
+}
+
+std::int64_t cut_edges(const graph& g, const partition_vector& part) {
+  std::int64_t cut = 0;
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    for (auto e = g.xadj(u); e < g.xadj(u + 1); ++e) {
+      const vid v = g.adjncy(e);
+      if (u < v && part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)])
+        ++cut;
+    }
+  return cut;
+}
+
+std::vector<weight_t> part_weights(const graph& g, const partition_vector& part, int k) {
+  std::vector<weight_t> w(static_cast<std::size_t>(k), 0);
+  for (vid u = 0; u < g.num_vertices(); ++u)
+    w[static_cast<std::size_t>(part[static_cast<std::size_t>(u)])] += g.vwgt(u);
+  return w;
+}
+
+double balance_factor(const graph& g, const partition_vector& part, int k) {
+  const auto w = part_weights(g, part, k);
+  const double ideal = g.total_vwgt() / static_cast<double>(k);
+  if (ideal == 0.0) return 1.0;
+  return *std::max_element(w.begin(), w.end()) / ideal;
+}
+
+int part_components(const graph& g, const partition_vector& part, int p) {
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  std::vector<char> seen(n, 0);
+  int components = 0;
+  for (vid s = 0; s < g.num_vertices(); ++s) {
+    if (part[static_cast<std::size_t>(s)] != p || seen[static_cast<std::size_t>(s)]) continue;
+    ++components;
+    std::queue<vid> bfs;
+    bfs.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!bfs.empty()) {
+      const vid u = bfs.front();
+      bfs.pop();
+      for (auto e = g.xadj(u); e < g.xadj(u + 1); ++e) {
+        const vid v = g.adjncy(e);
+        if (part[static_cast<std::size_t>(v)] == p && !seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          bfs.push(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+bool parts_contiguous(const graph& g, const partition_vector& part, int k) {
+  for (int p = 0; p < k; ++p)
+    if (part_components(g, part, p) > 1) return false;
+  return true;
+}
+
+}  // namespace nlh::partition

@@ -1,0 +1,35 @@
+#pragma once
+///
+/// \file metrics.hpp
+/// \brief Partition quality metrics: edge cut, balance, contiguity.
+///
+
+#include "partition/graph.hpp"
+
+namespace nlh::partition {
+
+/// Sum of weights of edges crossing part boundaries (each undirected edge
+/// counted once).
+weight_t edge_cut(const graph& g, const partition_vector& part);
+
+/// Number of cut edges (unweighted).
+std::int64_t cut_edges(const graph& g, const partition_vector& part);
+
+/// Per-part total vertex weight.
+std::vector<weight_t> part_weights(const graph& g, const partition_vector& part, int k);
+
+/// max part weight / ideal part weight; 1.0 = perfectly balanced.
+double balance_factor(const graph& g, const partition_vector& part, int k);
+
+/// True when every non-empty part induces a connected subgraph. Contiguity
+/// is the property METIS partitions give the paper's solver and the load
+/// balancer works to preserve.
+bool parts_contiguous(const graph& g, const partition_vector& part, int k);
+
+/// Number of connected components inside part p (0 if the part is empty).
+int part_components(const graph& g, const partition_vector& part, int p);
+
+/// Validation: every entry in [0, k), sizes match. Aborts on violation.
+void validate_partition(const graph& g, const partition_vector& part, int k);
+
+}  // namespace nlh::partition

@@ -1,0 +1,52 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace nlh::partition {
+
+std::pair<int, int> square_factors(int k) {
+  NLH_ASSERT(k >= 1);
+  int best = 1;
+  for (int f = 1; f * f <= k; ++f)
+    if (k % f == 0) best = f;
+  return {best, k / best};
+}
+
+partition_vector strip_partition(int rows, int cols, int k) {
+  NLH_ASSERT(rows >= 1 && cols >= 1 && k >= 1);
+  partition_vector part(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    // Even split of rows over k strips; strip p gets rows [p*rows/k, (p+1)*rows/k).
+    const int p = std::min(k - 1, r * k / rows);
+    for (int c = 0; c < cols; ++c) part[static_cast<std::size_t>(r) * cols + c] = p;
+  }
+  return part;
+}
+
+partition_vector block_partition(int rows, int cols, int k) {
+  NLH_ASSERT(rows >= 1 && cols >= 1 && k >= 1);
+  const auto [kr, kc] = square_factors(k);
+  partition_vector part(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    const int br = std::min(kr - 1, r * kr / rows);
+    for (int c = 0; c < cols; ++c) {
+      const int bc = std::min(kc - 1, c * kc / cols);
+      part[static_cast<std::size_t>(r) * cols + c] = br * kc + bc;
+    }
+  }
+  return part;
+}
+
+partition_vector random_partition(vid num_vertices, int k, unsigned seed) {
+  NLH_ASSERT(num_vertices >= 0 && k >= 1);
+  support::rng gen(seed);
+  partition_vector part(static_cast<std::size_t>(num_vertices));
+  for (auto& p : part) p = gen.uniform_int(0, k - 1);
+  return part;
+}
+
+}  // namespace nlh::partition

@@ -1,0 +1,74 @@
+#include "sim/capacity_trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace nlh::sim {
+
+capacity_trace capacity_trace::constant(double speed) {
+  capacity_trace t;
+  t.add_segment(0.0, speed);
+  return t;
+}
+
+void capacity_trace::add_segment(double start_time, double speed) {
+  NLH_ASSERT_MSG(speed >= 0.0, "capacity_trace: negative speed");
+  if (starts_.empty()) {
+    NLH_ASSERT_MSG(start_time == 0.0, "capacity_trace: first segment must start at 0");
+  } else {
+    NLH_ASSERT_MSG(start_time > starts_.back(), "capacity_trace: segments out of order");
+  }
+  starts_.push_back(start_time);
+  speeds_.push_back(speed);
+}
+
+double capacity_trace::speed_at(double t) const {
+  NLH_ASSERT(!starts_.empty());
+  // Last segment whose start <= t.
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), t);
+  const auto idx = static_cast<std::size_t>(it - starts_.begin());
+  NLH_ASSERT(idx >= 1);
+  return speeds_[idx - 1];
+}
+
+double capacity_trace::work_done(double t0, double t1) const {
+  NLH_ASSERT(!starts_.empty());
+  if (t1 <= t0) return 0.0;
+  double work = 0.0;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    const double seg_start = starts_[i];
+    const double seg_end =
+        i + 1 < starts_.size() ? starts_[i + 1] : std::numeric_limits<double>::infinity();
+    const double lo = std::max(t0, seg_start);
+    const double hi = std::min(t1, seg_end);
+    if (hi > lo) work += speeds_[i] * (hi - lo);
+    if (seg_end >= t1) break;
+  }
+  return work;
+}
+
+double capacity_trace::finish_time(double start, double work) const {
+  NLH_ASSERT(!starts_.empty());
+  NLH_ASSERT(work >= 0.0);
+  if (work == 0.0) return start;
+  double remaining = work;
+  double t = start;
+  for (std::size_t i = 0; i < starts_.size(); ++i) {
+    const double seg_end =
+        i + 1 < starts_.size() ? starts_[i + 1] : std::numeric_limits<double>::infinity();
+    if (seg_end <= t) continue;
+    const double speed = speeds_[i];
+    if (speed > 0.0) {
+      const double capacity = (seg_end - t) * speed;
+      if (remaining <= capacity) return t + remaining / speed;
+      remaining -= capacity;
+    }
+    t = seg_end;
+  }
+  NLH_ASSERT_MSG(false, "capacity_trace: work never completes (zero tail speed)");
+  return t;
+}
+
+}  // namespace nlh::sim

@@ -1,0 +1,42 @@
+#pragma once
+///
+/// \file capacity_trace.hpp
+/// \brief Piecewise-constant compute-capacity profile of a virtual node.
+///
+/// The paper motivates load balancing with nodes whose capacity varies over
+/// time ("scheduling of some other task"). A trace maps virtual time to
+/// speed in work-units per second; the simulator integrates it to turn task
+/// work into task duration, so a node that loses half its capacity mid-run
+/// takes proportionally longer for tasks spanning the change.
+///
+
+#include <vector>
+
+namespace nlh::sim {
+
+class capacity_trace {
+ public:
+  /// Constant speed for all time.
+  static capacity_trace constant(double speed);
+
+  /// Speed becomes `speed` from `start_time` onward (segments must be added
+  /// in increasing start_time order; the first segment must start at 0).
+  void add_segment(double start_time, double speed);
+
+  double speed_at(double t) const;
+
+  /// Work completed between t0 and t1 (integral of speed).
+  double work_done(double t0, double t1) const;
+
+  /// Earliest time at which `work` units complete when started at `start`.
+  /// Requires the trace to eventually have positive speed.
+  double finish_time(double start, double work) const;
+
+  bool empty() const { return starts_.empty(); }
+
+ private:
+  std::vector<double> starts_;  ///< segment start times, ascending, starts_[0] == 0
+  std::vector<double> speeds_;  ///< speed on [starts_[i], starts_[i+1])
+};
+
+}  // namespace nlh::sim

@@ -1,0 +1,181 @@
+#include "sim/cluster_sim.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <queue>
+
+#include "support/assert.hpp"
+
+namespace nlh::sim {
+
+cluster_sim::cluster_sim(int nodes, int cores_per_node)
+    : cores_per_node_(cores_per_node) {
+  NLH_ASSERT(nodes >= 1 && cores_per_node >= 1);
+  node_traces_.resize(static_cast<std::size_t>(nodes), capacity_trace::constant(1.0));
+  node_busy_.resize(static_cast<std::size_t>(nodes));
+}
+
+void cluster_sim::set_capacity(int node, capacity_trace trace) {
+  NLH_ASSERT(node >= 0 && node < num_nodes());
+  NLH_ASSERT(!trace.empty());
+  node_traces_[static_cast<std::size_t>(node)] = std::move(trace);
+}
+
+void cluster_sim::set_speed(int node, double work_units_per_s) {
+  set_capacity(node, capacity_trace::constant(work_units_per_s));
+}
+
+int cluster_sim::add_task(int node, double work, const std::vector<int>& deps,
+                          std::string label) {
+  NLH_ASSERT(!ran_);
+  NLH_ASSERT(node >= 0 && node < num_nodes());
+  NLH_ASSERT(work >= 0.0);
+  const int id = static_cast<int>(tasks_.size());
+  tasks_.push_back(task{node, work, {}, {}, 0, 0.0, -1.0, -1.0, -1, std::move(label)});
+  for (int d : deps) {
+    NLH_ASSERT_MSG(d >= 0 && d < id, "cluster_sim: dep must be an earlier task");
+    tasks_[static_cast<std::size_t>(d)].dependents.push_back(id);
+    ++tasks_.back().pending;
+  }
+  return id;
+}
+
+void cluster_sim::add_message(int from_task, int to_task, double bytes) {
+  NLH_ASSERT(!ran_);
+  NLH_ASSERT(from_task >= 0 && from_task < static_cast<int>(tasks_.size()));
+  NLH_ASSERT(to_task >= 0 && to_task < static_cast<int>(tasks_.size()));
+  NLH_ASSERT_MSG(from_task != to_task, "cluster_sim: self message");
+  NLH_ASSERT(bytes >= 0.0);
+  tasks_[static_cast<std::size_t>(from_task)].msg_out.emplace_back(to_task, bytes);
+  ++tasks_[static_cast<std::size_t>(to_task)].pending;
+}
+
+void cluster_sim::run() {
+  NLH_ASSERT_MSG(!ran_, "cluster_sim::run called twice");
+  ran_ = true;
+
+  // Per-node core free times (indexed so traces can attribute tasks to a
+  // concrete core lane).
+  std::vector<std::vector<double>> cores(
+      node_traces_.size(), std::vector<double>(static_cast<std::size_t>(cores_per_node_), 0.0));
+
+  // Ready queue ordered by (ready_time, id) for determinism.
+  using entry = std::pair<double, int>;
+  std::priority_queue<entry, std::vector<entry>, std::greater<>> ready;
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i)
+    if (tasks_[i].pending == 0) ready.push({0.0, static_cast<int>(i)});
+
+  std::size_t executed = 0;
+  while (!ready.empty()) {
+    const auto [rt, id] = ready.top();
+    ready.pop();
+    task& t = tasks_[static_cast<std::size_t>(id)];
+    const auto node = static_cast<std::size_t>(t.node);
+
+    auto& free_times = cores[node];
+    const auto core_idx = static_cast<std::size_t>(
+        std::min_element(free_times.begin(), free_times.end()) - free_times.begin());
+    t.core = static_cast<int>(core_idx);
+    t.start = std::max(t.ready_time, free_times[core_idx]);
+    t.finish = node_traces_[node].finish_time(t.start, t.work);
+    free_times[core_idx] = t.finish;
+    if (t.finish > t.start)
+      node_busy_[node].push_back(busy_interval{t.start, t.finish});
+    makespan_ = std::max(makespan_, t.finish);
+    ++executed;
+
+    for (int dep_id : t.dependents) {
+      task& d = tasks_[static_cast<std::size_t>(dep_id)];
+      d.ready_time = std::max(d.ready_time, t.finish);
+      if (--d.pending == 0) ready.push({d.ready_time, dep_id});
+    }
+    for (const auto& [to_id, bytes] : t.msg_out) {
+      task& d = tasks_[static_cast<std::size_t>(to_id)];
+      double arrival = t.finish;
+      if (d.node != t.node) {
+        arrival += net_.transfer_time(bytes);
+        network_bytes_ += bytes;
+        ++network_messages_;
+      }
+      d.ready_time = std::max(d.ready_time, arrival);
+      if (--d.pending == 0) ready.push({d.ready_time, to_id});
+    }
+  }
+  NLH_ASSERT_MSG(executed == tasks_.size(), "cluster_sim: dependency cycle detected");
+}
+
+double cluster_sim::makespan() const {
+  NLH_ASSERT(ran_);
+  return makespan_;
+}
+
+double cluster_sim::task_start(int id) const {
+  NLH_ASSERT(ran_ && id >= 0 && id < static_cast<int>(tasks_.size()));
+  return tasks_[static_cast<std::size_t>(id)].start;
+}
+
+double cluster_sim::task_finish(int id) const {
+  NLH_ASSERT(ran_ && id >= 0 && id < static_cast<int>(tasks_.size()));
+  return tasks_[static_cast<std::size_t>(id)].finish;
+}
+
+std::vector<cluster_sim::task_record> cluster_sim::task_records() const {
+  NLH_ASSERT(ran_);
+  std::vector<task_record> out;
+  out.reserve(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const auto& t = tasks_[i];
+    out.push_back(task_record{static_cast<int>(i), t.node, t.core, t.start,
+                              t.finish, t.work, t.label});
+  }
+  std::sort(out.begin(), out.end(), [](const task_record& a, const task_record& b) {
+    if (a.start != b.start) return a.start < b.start;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+void cluster_sim::write_chrome_trace(std::ostream& os) const {
+  NLH_ASSERT(ran_);
+  os << "[\n";
+  bool first = true;
+  for (const auto& r : task_records()) {
+    if (r.finish <= r.start) continue;  // zero-duration sinks clutter traces
+    if (!first) os << ",\n";
+    first = false;
+    const std::string name = r.label.empty() ? "task" + std::to_string(r.id) : r.label;
+    os << "  {\"name\": \"" << name << "\", \"ph\": \"X\", \"ts\": "
+       << r.start * 1e6 << ", \"dur\": " << (r.finish - r.start) * 1e6
+       << ", \"pid\": " << r.node << ", \"tid\": " << r.core << "}";
+  }
+  os << "\n]\n";
+}
+
+double cluster_sim::node_busy_time(int node) const {
+  NLH_ASSERT(ran_ && node >= 0 && node < num_nodes());
+  double total = 0.0;
+  for (const auto& iv : node_busy_[static_cast<std::size_t>(node)])
+    total += iv.end - iv.start;
+  return total;
+}
+
+double cluster_sim::node_busy_in_window(int node, double t0, double t1) const {
+  NLH_ASSERT(ran_ && node >= 0 && node < num_nodes());
+  NLH_ASSERT(t1 >= t0);
+  double total = 0.0;
+  for (const auto& iv : node_busy_[static_cast<std::size_t>(node)]) {
+    const double lo = std::max(iv.start, t0);
+    const double hi = std::min(iv.end, t1);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+double cluster_sim::node_busy_fraction(int node, double t0, double t1) const {
+  const double window = t1 - t0;
+  if (window <= 0.0) return 0.0;
+  return node_busy_in_window(node, t0, t1) / (window * cores_per_node_);
+}
+
+}  // namespace nlh::sim

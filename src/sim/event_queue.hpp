@@ -1,0 +1,69 @@
+#pragma once
+///
+/// \file event_queue.hpp
+/// \brief Deterministic time-ordered event queue.
+///
+/// Ties on time are broken by insertion sequence so simulations are exactly
+/// reproducible regardless of heap internals.
+///
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "amt/unique_function.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::sim {
+
+class event_queue {
+ public:
+  void push(double time, amt::unique_function<void()> action) {
+    NLH_ASSERT_MSG(time >= now_, "event_queue: scheduling into the past");
+    heap_.push(item{time, seq_++, std::move(action)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  double now() const { return now_; }
+
+  /// Next event time; queue must be non-empty.
+  double peek_time() const {
+    NLH_ASSERT(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pop and execute the earliest event, advancing the clock.
+  void step() {
+    NLH_ASSERT(!heap_.empty());
+    // priority_queue::top is const; the action must be moved out, so pop via
+    // const_cast on the known-unique top element.
+    auto& top = const_cast<item&>(heap_.top());
+    now_ = top.time;
+    auto action = std::move(top.action);
+    heap_.pop();
+    action();
+  }
+
+  /// Run until the queue drains.
+  void run() {
+    while (!heap_.empty()) step();
+  }
+
+ private:
+  struct item {
+    double time;
+    std::uint64_t seq;
+    amt::unique_function<void()> action;
+    bool operator>(const item& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<item, std::vector<item>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace nlh::sim

@@ -1,0 +1,34 @@
+#pragma once
+///
+/// \file assert.hpp
+/// \brief Always-on assertion macro with message, used across the library.
+///
+/// Unlike `assert`, NLH_ASSERT stays active in Release builds: the invariants
+/// it guards (SD conservation, partition coverage, ghost-geometry bounds) are
+/// cheap relative to the numerical kernels and failures must never pass
+/// silently in a solver.
+///
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nlh::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NLH_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace nlh::support
+
+#define NLH_ASSERT(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) ::nlh::support::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NLH_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::nlh::support::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)

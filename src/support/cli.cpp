@@ -1,0 +1,49 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+namespace nlh::support {
+
+cli::cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      const auto eq = key.find('=');
+      if (eq != std::string::npos) {
+        kv_[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[key] = argv[++i];
+      } else {
+        kv_[key] = "true";  // bare flag
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool cli::has(const std::string& key) const { return kv_.count(key) != 0; }
+
+std::string cli::get(const std::string& key, const std::string& def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : it->second;
+}
+
+int cli::get_int(const std::string& key, int def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::atoi(it->second.c_str());
+}
+
+double cli::get_double(const std::string& key, double def) const {
+  const auto it = kv_.find(key);
+  return it == kv_.end() ? def : std::atof(it->second.c_str());
+}
+
+bool cli::get_bool(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace nlh::support

@@ -1,0 +1,32 @@
+#pragma once
+///
+/// \file cli.hpp
+/// \brief Minimal `--key value` / `--flag` command-line parser so every
+/// example and bench binary exposes its parameters without a dependency.
+///
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace nlh::support {
+
+class cli {
+ public:
+  cli(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  int get_int(const std::string& key, int def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Positional arguments (anything not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::unordered_map<std::string, std::string> kv_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nlh::support

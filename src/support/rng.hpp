@@ -1,0 +1,95 @@
+#pragma once
+///
+/// \file rng.hpp
+/// \brief Deterministic, seedable PRNG (xoshiro256**) for reproducible
+/// workloads, capacity traces and property-test inputs.
+///
+/// std::mt19937 distributions are not guaranteed bit-identical across
+/// standard-library implementations; the experiment harness needs exact
+/// reproducibility, so both the generator and the distributions live here.
+///
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nlh::support {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class rng {
+ public:
+  explicit rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialise the state from a single 64-bit seed via splitmix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& w : s_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return (next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive, unbiased via rejection.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next_u64();  // full range
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() - std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + v % span;
+  }
+
+  int uniform_int(int lo, int hi) {
+    return lo + static_cast<int>(uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return mean + stddev * u * m;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t s_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace nlh::support

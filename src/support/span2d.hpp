@@ -1,0 +1,60 @@
+#pragma once
+///
+/// \file span2d.hpp
+/// \brief Non-owning 2-D view over contiguous row-major storage.
+///
+/// The nonlocal solver stores every field (temperature, source, exact
+/// solution) as a flat `std::vector<double>` indexed by (row, col); span2d
+/// provides bounds-checked 2-D access without copying.
+///
+
+#include <cstddef>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace nlh::support {
+
+/// Non-owning row-major 2-D view. `T` may be const for read-only views.
+template <class T>
+class span2d {
+ public:
+  span2d() = default;
+  span2d(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  /// View over a vector interpreted as rows x cols (must match exactly).
+  template <class U>
+  span2d(std::vector<U>& v, std::size_t rows, std::size_t cols)
+      : data_(v.data()), rows_(rows), cols_(cols) {
+    NLH_ASSERT_MSG(v.size() == rows * cols, "span2d: vector size mismatch");
+  }
+  template <class U>
+  span2d(const std::vector<U>& v, std::size_t rows, std::size_t cols)
+      : data_(v.data()), rows_(rows), cols_(cols) {
+    NLH_ASSERT_MSG(v.size() == rows * cols, "span2d: vector size mismatch");
+  }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    NLH_ASSERT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* row(std::size_t r) const {
+    NLH_ASSERT(r < rows_);
+    return data_ + r * cols_;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return rows_ * cols_; }
+  T* data() const { return data_; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+}  // namespace nlh::support

@@ -1,0 +1,72 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assert.hpp"
+
+namespace nlh::support {
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NLH_ASSERT(!headers_.empty());
+}
+
+table& table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+table& table::add(const std::string& cell) {
+  NLH_ASSERT_MSG(!rows_.empty(), "table::add before table::row");
+  NLH_ASSERT_MSG(rows_.back().size() < headers_.size(), "table: too many cells in row");
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+table& table::add(double v, int precision) { return add(fmt_double(v, precision)); }
+
+table& table::add(long long v) { return add(std::to_string(v)); }
+
+void table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c) widths[c] = std::max(widths[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << cell;
+      if (c + 1 < headers_.size())
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace nlh::support

@@ -1,0 +1,45 @@
+#pragma once
+///
+/// \file table.hpp
+/// \brief Aligned console table + CSV writer. Every benchmark harness prints
+/// its figure/table data through this so the output format is uniform and
+/// machine-parsable.
+///
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nlh::support {
+
+/// Column-aligned text table. Cells are strings; helpers format numerics.
+class table {
+ public:
+  explicit table(std::vector<std::string> headers);
+
+  /// Start a new row; subsequent add() calls fill it left to right.
+  table& row();
+  table& add(const std::string& cell);
+  table& add(double v, int precision = 4);
+  table& add(long long v);
+  table& add(int v) { return add(static_cast<long long>(v)); }
+  table& add(std::size_t v) { return add(static_cast<long long>(v)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with padded columns and a header underline.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (comma-separated, no quoting of commas: callers keep
+  /// cells comma-free by construction).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed precision without trailing garbage.
+std::string fmt_double(double v, int precision = 4);
+
+}  // namespace nlh::support

@@ -1,0 +1,94 @@
+// Tests for the AGAS-style performance-counter registry.
+
+#include <gtest/gtest.h>
+
+#include "amt/counters.hpp"
+#include "amt/thread_pool.hpp"
+
+namespace amt = nlh::amt;
+
+class CounterRegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { amt::counter_registry::instance().clear(); }
+  void TearDown() override { amt::counter_registry::instance().clear(); }
+};
+
+TEST_F(CounterRegistryTest, RegisterAndRead) {
+  auto& reg = amt::counter_registry::instance();
+  double value = 1.5;
+  reg.register_counter("/test/a", [&] { return value; }, [&] { value = 0.0; });
+  EXPECT_TRUE(reg.contains("/test/a"));
+  EXPECT_DOUBLE_EQ(reg.value("/test/a"), 1.5);
+  value = 2.5;
+  EXPECT_DOUBLE_EQ(reg.value("/test/a"), 2.5);
+}
+
+TEST_F(CounterRegistryTest, ResetInvokesHook) {
+  auto& reg = amt::counter_registry::instance();
+  double value = 9.0;
+  reg.register_counter("/test/a", [&] { return value; }, [&] { value = 0.0; });
+  reg.reset("/test/a");
+  EXPECT_DOUBLE_EQ(reg.value("/test/a"), 0.0);
+}
+
+TEST_F(CounterRegistryTest, ResetMatchingSubstring) {
+  auto& reg = amt::counter_registry::instance();
+  double a = 1, b = 1, c = 1;
+  reg.register_counter("/threads{locality#0}/busy_time", [&] { return a; }, [&] { a = 0; });
+  reg.register_counter("/threads{locality#1}/busy_time", [&] { return b; }, [&] { b = 0; });
+  reg.register_counter("/network/bytes", [&] { return c; }, [&] { c = 0; });
+  // Algorithm 1 line 35: reset_all(busy_time).
+  reg.reset_matching("busy_time");
+  EXPECT_DOUBLE_EQ(a, 0.0);
+  EXPECT_DOUBLE_EQ(b, 0.0);
+  EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST_F(CounterRegistryTest, PathsMatching) {
+  auto& reg = amt::counter_registry::instance();
+  reg.register_counter("/x/one", [] { return 0.0; }, [] {});
+  reg.register_counter("/x/two", [] { return 0.0; }, [] {});
+  reg.register_counter("/y/one", [] { return 0.0; }, [] {});
+  const auto xs = reg.paths_matching("/x/");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], "/x/one");
+  EXPECT_EQ(xs[1], "/x/two");
+  EXPECT_EQ(reg.paths_matching("").size(), 3u);
+}
+
+TEST_F(CounterRegistryTest, UnregisterRemoves) {
+  auto& reg = amt::counter_registry::instance();
+  reg.register_counter("/gone", [] { return 1.0; }, [] {});
+  reg.unregister_counter("/gone");
+  EXPECT_FALSE(reg.contains("/gone"));
+}
+
+TEST_F(CounterRegistryTest, BusyTimePathFormat) {
+  EXPECT_EQ(amt::busy_time_path(3), "/threads{locality#3/total}/busy_time");
+}
+
+TEST_F(CounterRegistryTest, ThreadPoolRegistersBusyCounter) {
+  auto& reg = amt::counter_registry::instance();
+  {
+    amt::thread_pool pool(1, /*locality=*/5);
+    EXPECT_TRUE(reg.contains(amt::busy_time_path(5)));
+    const double frac = reg.value(amt::busy_time_path(5));
+    EXPECT_GE(frac, 0.0);
+    EXPECT_LE(frac, 1.0 + 1e-9);
+  }
+  // Destruction unregisters.
+  EXPECT_FALSE(reg.contains(amt::busy_time_path(5)));
+}
+
+TEST_F(CounterRegistryTest, PoolWithoutLocalityDoesNotRegister) {
+  auto& reg = amt::counter_registry::instance();
+  amt::thread_pool pool(1, -1);
+  EXPECT_TRUE(reg.paths_matching("busy_time").empty());
+}
+
+TEST_F(CounterRegistryTest, RegistryResetViaPoolCounter) {
+  auto& reg = amt::counter_registry::instance();
+  amt::thread_pool pool(1, 0);
+  reg.reset(amt::busy_time_path(0));  // must not crash; zeroes the interval
+  EXPECT_GE(reg.value(amt::busy_time_path(0)), 0.0);
+}

@@ -1,0 +1,194 @@
+// Tests for the serializer, mailbox and comm_world distributed substrate.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/comm_world.hpp"
+#include "net/mailbox.hpp"
+#include "net/serializer.hpp"
+
+namespace net = nlh::net;
+
+// ------------------------------------------------------------ serializer ----
+
+TEST(Serializer, PodRoundTrip) {
+  net::archive_writer w;
+  w.write(42);
+  w.write(3.25);
+  w.write(static_cast<std::uint64_t>(1) << 40);
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.read<int>(), 42);
+  EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint64_t>(), static_cast<std::uint64_t>(1) << 40);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serializer, StringRoundTrip) {
+  net::archive_writer w;
+  w.write(std::string("ghost zone"));
+  w.write(std::string(""));
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.read_string(), "ghost zone");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serializer, VectorRoundTrip) {
+  net::archive_writer w;
+  std::vector<double> strip{1.0, 2.5, -3.0};
+  w.write(strip);
+  w.write(std::vector<int>{});
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.read_vector<double>(), strip);
+  EXPECT_TRUE(r.read_vector<int>().empty());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serializer, MixedPayload) {
+  net::archive_writer w;
+  w.write(7);
+  w.write(std::vector<float>{1.5f, 2.5f});
+  w.write(std::string("tag"));
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.read<int>(), 7);
+  const auto v = r.read_vector<float>();
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_FLOAT_EQ(v[1], 2.5f);
+  EXPECT_EQ(r.read_string(), "tag");
+}
+
+TEST(Serializer, RemainingTracksCursor) {
+  net::archive_writer w;
+  w.write(1);
+  w.write(2);
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.remaining(), 2 * sizeof(int));
+  r.read<int>();
+  EXPECT_EQ(r.remaining(), sizeof(int));
+}
+
+// --------------------------------------------------------------- mailbox ----
+
+net::byte_buffer make_payload(int v) {
+  net::archive_writer w;
+  w.write(v);
+  return w.take();
+}
+
+int read_payload(const net::byte_buffer& b) {
+  net::archive_reader r(b);
+  return r.read<int>();
+}
+
+TEST(Mailbox, DeliverThenRecv) {
+  net::mailbox mb;
+  mb.deliver(1, 100, make_payload(5));
+  auto f = mb.recv(1, 100);
+  ASSERT_TRUE(f.is_ready());
+  EXPECT_EQ(read_payload(f.get()), 5);
+}
+
+TEST(Mailbox, RecvThenDeliver) {
+  net::mailbox mb;
+  auto f = mb.recv(2, 7);
+  EXPECT_FALSE(f.is_ready());
+  mb.deliver(2, 7, make_payload(9));
+  ASSERT_TRUE(f.is_ready());
+  EXPECT_EQ(read_payload(f.get()), 9);
+}
+
+TEST(Mailbox, TagMismatchDoesNotMatch) {
+  net::mailbox mb;
+  auto f = mb.recv(1, 100);
+  mb.deliver(1, 101, make_payload(1));  // different tag
+  mb.deliver(2, 100, make_payload(2));  // different source
+  EXPECT_FALSE(f.is_ready());
+  EXPECT_EQ(mb.pending_messages(), 2u);
+  mb.deliver(1, 100, make_payload(3));
+  EXPECT_EQ(read_payload(f.get()), 3);
+}
+
+TEST(Mailbox, FifoPerKey) {
+  net::mailbox mb;
+  mb.deliver(0, 5, make_payload(1));
+  mb.deliver(0, 5, make_payload(2));
+  EXPECT_EQ(read_payload(mb.recv(0, 5).get()), 1);
+  EXPECT_EQ(read_payload(mb.recv(0, 5).get()), 2);
+}
+
+TEST(Mailbox, MultipleWaiters) {
+  net::mailbox mb;
+  auto f1 = mb.recv(0, 1);
+  auto f2 = mb.recv(0, 1);
+  EXPECT_EQ(mb.pending_receives(), 2u);
+  mb.deliver(0, 1, make_payload(10));
+  mb.deliver(0, 1, make_payload(20));
+  EXPECT_EQ(read_payload(f1.get()), 10);
+  EXPECT_EQ(read_payload(f2.get()), 20);
+  EXPECT_EQ(mb.pending_receives(), 0u);
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  net::mailbox mb;
+  auto f = mb.recv(3, 42);
+  std::thread t([&] { mb.deliver(3, 42, make_payload(77)); });
+  EXPECT_EQ(read_payload(f.get()), 77);
+  t.join();
+}
+
+// ------------------------------------------------------------ comm_world ----
+
+TEST(CommWorld, SendRecvAcrossLocalities) {
+  net::comm_world world(3);
+  world.send(0, 2, 11, make_payload(123));
+  auto f = world.recv(2, 0, 11);
+  EXPECT_EQ(read_payload(f.get()), 123);
+}
+
+TEST(CommWorld, TrafficAccounting) {
+  net::comm_world world(2);
+  const auto payload = make_payload(1);
+  const auto size = payload.size();
+  world.send(0, 1, 1, make_payload(1));
+  world.send(0, 1, 2, make_payload(2));
+  world.send(1, 0, 3, make_payload(3));
+  EXPECT_EQ(world.bytes_sent(0, 1), 2 * size);
+  EXPECT_EQ(world.bytes_sent(1, 0), size);
+  EXPECT_EQ(world.messages_sent(0, 1), 2u);
+  EXPECT_EQ(world.total_bytes(), 3 * size);
+  world.reset_traffic();
+  EXPECT_EQ(world.total_bytes(), 0u);
+}
+
+TEST(CommWorld, SelfSendWorks) {
+  net::comm_world world(1);
+  world.send(0, 0, 9, make_payload(4));
+  EXPECT_EQ(read_payload(world.recv(0, 0, 9).get()), 4);
+}
+
+TEST(CommWorld, ContinuationOnArrival) {
+  net::comm_world world(2);
+  std::atomic<int> seen{0};
+  auto f = world.recv(1, 0, 5).then(
+      [&](nlh::amt::future<net::byte_buffer> b) { seen = read_payload(b.get()); });
+  EXPECT_EQ(seen.load(), 0);
+  world.send(0, 1, 5, make_payload(31));
+  f.get();
+  EXPECT_EQ(seen.load(), 31);
+}
+
+TEST(CommWorld, ManyTagsInterleaved) {
+  net::comm_world world(2);
+  std::vector<nlh::amt::future<net::byte_buffer>> fs;
+  for (int tag = 0; tag < 20; ++tag) fs.push_back(world.recv(1, 0, tag));
+  // Deliver in reverse order: tags must still match.
+  for (int tag = 19; tag >= 0; --tag) world.send(0, 1, tag, make_payload(tag));
+  for (int tag = 0; tag < 20; ++tag)
+    EXPECT_EQ(read_payload(fs[static_cast<std::size_t>(tag)].get()), tag);
+}

@@ -1,0 +1,129 @@
+// Tests for the 1-D nonlocal diffusion companion model (eq. 2, d = 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nonlocal/one_d.hpp"
+
+namespace nl = nlh::nonlocal;
+
+TEST(Grid1d, Geometry) {
+  nl::grid1d g(10, 0.3);  // h = 0.1, ghost = ceil(3) = 3
+  EXPECT_DOUBLE_EQ(g.h(), 0.1);
+  EXPECT_EQ(g.ghost(), 3);
+  EXPECT_EQ(g.total(), 16u);
+  EXPECT_DOUBLE_EQ(g.x(0), 0.05);
+  EXPECT_DOUBLE_EQ(g.cell_volume(), 0.1);
+  EXPECT_EQ(g.flat(-3), 0u);
+  EXPECT_EQ(g.flat(12), 15u);
+}
+
+TEST(Stencil1d, OffsetsAndWeights) {
+  nl::grid1d g(16, 3.0 / 16);
+  nl::stencil1d st(g, nl::influence{});
+  EXPECT_EQ(st.entries().size(), 6u);  // dj in {-3..3} \ {0}
+  EXPECT_EQ(st.reach(), 3);
+  EXPECT_NEAR(st.weight_sum(), 6.0 * g.cell_volume(), 1e-15);
+}
+
+TEST(Stencil1d, WeightSumApproachesIntervalLength) {
+  // sum J h over the discrete ball -> |B_eps| = 2 eps for J = 1.
+  nl::grid1d g(1024, 32.0 / 1024);
+  nl::stencil1d st(g, nl::influence{});
+  EXPECT_NEAR(st.weight_sum(), 2.0 * g.epsilon(), 0.05 * 2.0 * g.epsilon());
+}
+
+TEST(Solver1d, ConstantFieldHasZeroOperator) {
+  nl::solver_config_1d cfg;
+  cfg.n = 32;
+  cfg.epsilon_factor = 3;
+  nl::serial_solver_1d s(cfg);
+  auto u = s.grid().make_field();
+  for (auto& v : u) v = 2.5;
+  auto out = s.grid().make_field();
+  s.apply_operator(u, out);
+  for (int i = 0; i < s.grid().n(); ++i)
+    EXPECT_NEAR(out[s.grid().flat(i)], 0.0, 1e-12);
+}
+
+TEST(Solver1d, OperatorApproximatesSecondDerivative) {
+  // u = x^2: L_h[u] -> k u'' = 2k away from the boundary. The midpoint
+  // quadrature over the ball carries a 1 + 3/(2g) overestimate, so the
+  // horizon must span many cells (g = 32 -> ~4.7%) for a 10% tolerance.
+  nl::solver_config_1d cfg;
+  cfg.n = 512;
+  cfg.epsilon_factor = 32;
+  cfg.conductivity = 1.5;
+  nl::serial_solver_1d s(cfg);
+  const auto& g = s.grid();
+  auto u = g.make_field();
+  for (int i = -g.ghost(); i < g.n() + g.ghost(); ++i) u[g.flat(i)] = g.x(i) * g.x(i);
+  auto out = g.make_field();
+  s.apply_operator(u, out);
+  EXPECT_NEAR(out[g.flat(g.n() / 2)], 2.0 * cfg.conductivity,
+              0.1 * 2.0 * cfg.conductivity);
+}
+
+TEST(Solver1d, TracksManufacturedSolution) {
+  nl::solver_config_1d cfg;
+  cfg.n = 64;
+  cfg.epsilon_factor = 4;
+  cfg.num_steps = 10;
+  const auto res = nl::serial_solver_1d(cfg).run();
+  EXPECT_LT(res.max_relative_error, 1e-3);
+}
+
+TEST(Solver1d, ErrorDecreasesWithMesh) {
+  double prev = 1e9;
+  for (int n : {16, 32, 64, 128}) {
+    nl::solver_config_1d cfg;
+    cfg.n = n;
+    cfg.epsilon_factor = 2;
+    cfg.num_steps = 8;
+    const auto res = nl::serial_solver_1d(cfg).run();
+    EXPECT_LT(res.total_error_e, prev) << "n=" << n;
+    prev = res.total_error_e;
+  }
+}
+
+TEST(Solver1d, BoundaryStaysZero) {
+  nl::solver_config_1d cfg;
+  cfg.n = 32;
+  cfg.epsilon_factor = 3;
+  cfg.num_steps = 6;
+  nl::serial_solver_1d s(cfg);
+  s.set_initial_condition();
+  for (int k = 0; k < 6; ++k) s.step(k);
+  const auto& g = s.grid();
+  for (int i = -g.ghost(); i < 0; ++i)
+    EXPECT_DOUBLE_EQ(s.field()[g.flat(i)], 0.0);
+  for (int i = g.n(); i < g.n() + g.ghost(); ++i)
+    EXPECT_DOUBLE_EQ(s.field()[g.flat(i)], 0.0);
+}
+
+TEST(Solver1d, ScalingConstantMatchesEq2) {
+  // d = 1, J = 1: c = k / (eps^3 M2) with M2 = 1/3.
+  nl::solver_config_1d cfg;
+  cfg.n = 32;
+  cfg.epsilon_factor = 4;
+  cfg.conductivity = 2.0;
+  nl::serial_solver_1d s(cfg);
+  const double eps = 4.0 / 32;
+  EXPECT_NEAR(s.scaling_constant(), 2.0 * 3.0 / (eps * eps * eps), 1e-9);
+}
+
+TEST(Solver1d, AllKernelsStable) {
+  for (auto kind : {nl::influence_kind::constant, nl::influence_kind::linear,
+                    nl::influence_kind::gaussian}) {
+    nl::solver_config_1d cfg;
+    cfg.n = 48;
+    cfg.epsilon_factor = 3;
+    cfg.num_steps = 10;
+    cfg.kind = kind;
+    nl::serial_solver_1d s(cfg);
+    const auto res = s.run();
+    EXPECT_LT(res.max_relative_error, 1e-2) << static_cast<int>(kind);
+    for (double v : s.field()) EXPECT_TRUE(std::isfinite(v));
+  }
+}

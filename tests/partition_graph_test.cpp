@@ -1,0 +1,227 @@
+// Tests for the CSR graph, mesh dual-graph builder, metrics and baseline
+// partitioners.
+
+#include <gtest/gtest.h>
+
+#include "partition/graph.hpp"
+#include "partition/mesh_dual.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+
+namespace part = nlh::partition;
+
+part::graph path_graph(int n) {
+  std::vector<std::vector<std::pair<part::vid, part::weight_t>>> adj(
+      static_cast<std::size_t>(n));
+  for (int i = 0; i + 1 < n; ++i) adj[static_cast<std::size_t>(i)].push_back({i + 1, 1.0});
+  return part::graph::from_adjacency(adj);
+}
+
+// ---------------------------------------------------------------- graph ----
+
+TEST(Graph, EmptyGraph) {
+  part::graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, PathGraphStructure) {
+  auto g = path_graph(4);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_TRUE(g.has_edge(2, 1));  // symmetrized
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Graph, DefaultVertexWeightsAreOne) {
+  auto g = path_graph(3);
+  EXPECT_DOUBLE_EQ(g.vwgt(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.total_vwgt(), 3.0);
+}
+
+TEST(Graph, CustomVertexWeights) {
+  std::vector<std::vector<std::pair<part::vid, part::weight_t>>> adj(2);
+  adj[0].push_back({1, 2.0});
+  auto g = part::graph::from_adjacency(adj, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(g.vwgt(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_vwgt(), 8.0);
+  EXPECT_DOUBLE_EQ(g.incident_weight(0), 2.0);
+}
+
+TEST(Graph, DuplicateEdgesMerge) {
+  std::vector<std::vector<std::pair<part::vid, part::weight_t>>> adj(2);
+  adj[0].push_back({1, 1.0});
+  adj[0].push_back({1, 2.5});
+  auto g = part::graph::from_adjacency(adj);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.incident_weight(0), 3.5);
+  EXPECT_DOUBLE_EQ(g.incident_weight(1), 3.5);
+}
+
+// ------------------------------------------------------------- mesh dual ----
+
+TEST(MeshDual, FourNeighborCounts) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = 3;
+  opt.sd_cols = 3;
+  opt.sd_size = 4;
+  opt.ghost_width = 1;
+  opt.include_diagonals = false;
+  auto g = part::build_mesh_dual(opt);
+  EXPECT_EQ(g.num_vertices(), 9);
+  EXPECT_EQ(g.num_edges(), 12);      // 2*3*2 horizontal+vertical
+  EXPECT_EQ(g.degree(4), 4);         // center
+  EXPECT_EQ(g.degree(0), 2);         // corner
+}
+
+TEST(MeshDual, DiagonalsIncluded) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = 2;
+  opt.sd_cols = 2;
+  opt.sd_size = 4;
+  opt.ghost_width = 1;
+  opt.include_diagonals = true;
+  auto g = part::build_mesh_dual(opt);
+  EXPECT_EQ(g.num_edges(), 6);  // 4 sides + 2 diagonals
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(MeshDual, EdgeWeightsScaleWithGhost) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = 1;
+  opt.sd_cols = 2;
+  opt.sd_size = 10;
+  opt.ghost_width = 3;
+  auto g = part::build_mesh_dual(opt);
+  // Side edge weight = sd_size * ghost (DPs exchanged).
+  EXPECT_DOUBLE_EQ(g.adjwgt(g.xadj(0)), 30.0);
+}
+
+TEST(MeshDual, VertexWeightIsDpCount) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = 2;
+  opt.sd_cols = 2;
+  opt.sd_size = 5;
+  opt.ghost_width = 1;
+  auto g = part::build_mesh_dual(opt);
+  EXPECT_DOUBLE_EQ(g.vwgt(0), 25.0);
+}
+
+TEST(MeshDual, CustomWorkWeights) {
+  part::mesh_dual_options opt;
+  opt.sd_rows = 1;
+  opt.sd_cols = 3;
+  opt.sd_size = 2;
+  opt.ghost_width = 1;
+  opt.sd_work = {1.0, 0.5, 1.0};  // cracked middle SD
+  auto g = part::build_mesh_dual(opt);
+  EXPECT_DOUBLE_EQ(g.vwgt(1), 0.5);
+}
+
+TEST(MeshDual, IndexHelpers) {
+  EXPECT_EQ(part::sd_index(1, 2, 5), 7);
+  EXPECT_EQ(part::sd_row(7, 5), 1);
+  EXPECT_EQ(part::sd_col(7, 5), 2);
+}
+
+// ----------------------------------------------------------------- metrics ----
+
+TEST(Metrics, EdgeCutOfBisectedPath) {
+  auto g = path_graph(4);
+  part::partition_vector p{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(part::edge_cut(g, p), 1.0);
+  EXPECT_EQ(part::cut_edges(g, p), 1);
+}
+
+TEST(Metrics, ZeroCutSinglePart) {
+  auto g = path_graph(5);
+  part::partition_vector p(5, 0);
+  EXPECT_DOUBLE_EQ(part::edge_cut(g, p), 0.0);
+}
+
+TEST(Metrics, PartWeightsAndBalance) {
+  auto g = path_graph(4);
+  part::partition_vector p{0, 0, 0, 1};
+  const auto w = part::part_weights(g, p, 2);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+  EXPECT_DOUBLE_EQ(w[1], 1.0);
+  EXPECT_DOUBLE_EQ(part::balance_factor(g, p, 2), 1.5);
+}
+
+TEST(Metrics, ContiguityDetection) {
+  auto g = path_graph(5);
+  part::partition_vector contiguous{0, 0, 1, 1, 1};
+  part::partition_vector split{0, 1, 0, 1, 0};  // part 0 in three pieces
+  EXPECT_TRUE(part::parts_contiguous(g, contiguous, 2));
+  EXPECT_FALSE(part::parts_contiguous(g, split, 2));
+  EXPECT_EQ(part::part_components(g, split, 0), 3);
+  EXPECT_EQ(part::part_components(g, contiguous, 0), 1);
+}
+
+TEST(Metrics, EmptyPartHasZeroComponents) {
+  auto g = path_graph(3);
+  part::partition_vector p(3, 0);
+  EXPECT_EQ(part::part_components(g, p, 1), 0);
+  EXPECT_TRUE(part::parts_contiguous(g, p, 2));  // empty part is fine
+}
+
+// ---------------------------------------------------------------- baselines ----
+
+TEST(Baselines, StripPartitionShape) {
+  const auto p = part::strip_partition(4, 4, 2);
+  // First two rows part 0, last two rows part 1.
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(p[static_cast<std::size_t>(c)], 0);
+    EXPECT_EQ(p[static_cast<std::size_t>(3 * 4 + c)], 1);
+  }
+}
+
+TEST(Baselines, StripPartitionCoversAllParts) {
+  const auto p = part::strip_partition(8, 3, 4);
+  std::vector<int> counts(4, 0);
+  for (int v : p) ++counts[static_cast<std::size_t>(v)];
+  for (int c : counts) EXPECT_EQ(c, 6);  // 2 rows * 3 cols each
+}
+
+TEST(Baselines, BlockPartitionIsBalancedOnDivisibleGrid) {
+  const auto p = part::block_partition(4, 4, 4);
+  std::vector<int> counts(4, 0);
+  for (int v : p) ++counts[static_cast<std::size_t>(v)];
+  for (int c : counts) EXPECT_EQ(c, 4);
+}
+
+TEST(Baselines, SquareFactors) {
+  EXPECT_EQ(part::square_factors(4), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(part::square_factors(6), (std::pair<int, int>{2, 3}));
+  EXPECT_EQ(part::square_factors(7), (std::pair<int, int>{1, 7}));
+  EXPECT_EQ(part::square_factors(1), (std::pair<int, int>{1, 1}));
+}
+
+TEST(Baselines, RandomPartitionInRangeAndDeterministic) {
+  const auto a = part::random_partition(100, 5, 42);
+  const auto b = part::random_partition(100, 5, 42);
+  EXPECT_EQ(a, b);
+  for (int v : a) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+  }
+}
+
+TEST(Baselines, BlockBeatsStripOnCut) {
+  // On a square dual grid with many parts, 2-D blocks cut fewer edges than
+  // 1-D strips — the geometric fact behind METIS-style partitioning.
+  part::mesh_dual_options opt;
+  opt.sd_rows = 16;
+  opt.sd_cols = 16;
+  opt.sd_size = 4;
+  opt.ghost_width = 1;
+  opt.include_diagonals = false;
+  auto g = part::build_mesh_dual(opt);
+  const auto strip = part::strip_partition(16, 16, 8);
+  const auto block = part::block_partition(16, 16, 8);
+  EXPECT_LT(part::edge_cut(g, block), part::edge_cut(g, strip));
+}

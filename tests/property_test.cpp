@@ -1,0 +1,238 @@
+// Randomized property tests (TEST_P over seeds): cluster-simulator
+// scheduling invariants, serializer round trips, mailbox linearity and
+// balancer conservation under random scenarios.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "balance/balancer.hpp"
+#include "net/comm_world.hpp"
+#include "net/serializer.hpp"
+#include "partition/partitioner.hpp"
+#include "sim/cluster_sim.hpp"
+#include "support/rng.hpp"
+
+namespace sim = nlh::sim;
+namespace net = nlh::net;
+namespace bal = nlh::balance;
+namespace dist = nlh::dist;
+
+// ------------------------------------------- cluster_sim random-DAG sweep ----
+
+class ClusterSimProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ClusterSimProperty, SchedulingInvariantsHold) {
+  nlh::support::rng gen(GetParam());
+  const int nodes = gen.uniform_int(1, 4);
+  const int cores = gen.uniform_int(1, 3);
+  sim::cluster_sim cs(nodes, cores);
+  for (int n = 0; n < nodes; ++n) cs.set_speed(n, gen.uniform(0.5, 2.0));
+
+  // Random layered DAG: deps point only backwards.
+  const int tasks = gen.uniform_int(10, 60);
+  std::vector<int> ids;
+  std::vector<double> works;
+  std::vector<int> task_node;
+  for (int i = 0; i < tasks; ++i) {
+    std::vector<int> deps;
+    const int ndeps = gen.uniform_int(0, std::min<int>(3, static_cast<int>(ids.size())));
+    for (int d = 0; d < ndeps; ++d)
+      deps.push_back(ids[static_cast<std::size_t>(
+          gen.uniform_u64(0, ids.size() - 1))]);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    const int node = gen.uniform_int(0, nodes - 1);
+    const double work = gen.uniform(0.0, 10.0);
+    ids.push_back(cs.add_task(node, work, deps));
+    works.push_back(work);
+    task_node.push_back(node);
+  }
+  // A few random messages between existing tasks.
+  const int msgs = gen.uniform_int(0, 10);
+  for (int m = 0; m < msgs; ++m) {
+    const auto a = static_cast<int>(gen.uniform_u64(0, ids.size() - 1));
+    const auto b = static_cast<int>(gen.uniform_u64(0, ids.size() - 1));
+    if (a < b) cs.add_message(ids[static_cast<std::size_t>(a)],
+                              ids[static_cast<std::size_t>(b)],
+                              gen.uniform(0.0, 1e4));
+  }
+  cs.run();
+
+  // Invariant 1: every task starts at/after its ready moment, finishes
+  // at/after it starts, and the makespan covers all finishes.
+  for (int id : ids) {
+    EXPECT_GE(cs.task_start(id), 0.0);
+    EXPECT_GE(cs.task_finish(id), cs.task_start(id));
+    EXPECT_LE(cs.task_finish(id), cs.makespan() + 1e-9);
+  }
+
+  // Invariant 2: per-node busy time never exceeds cores * makespan, and
+  // total busy time equals the sum of task durations.
+  double total_busy = 0.0;
+  for (int n = 0; n < nodes; ++n) {
+    const double busy = cs.node_busy_time(n);
+    EXPECT_LE(busy, cores * cs.makespan() + 1e-9);
+    total_busy += busy;
+  }
+  double total_duration = 0.0;
+  for (int id : ids) total_duration += cs.task_finish(id) - cs.task_start(id);
+  EXPECT_NEAR(total_busy, total_duration, 1e-6);
+
+  // Invariant 3: makespan is bounded below by each node's work at its speed
+  // spread over its cores.
+  std::vector<double> node_work(static_cast<std::size_t>(nodes), 0.0);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    node_work[static_cast<std::size_t>(task_node[i])] +=
+        cs.task_finish(ids[i]) - cs.task_start(ids[i]);
+  for (int n = 0; n < nodes; ++n)
+    EXPECT_GE(cs.makespan() + 1e-9, node_work[static_cast<std::size_t>(n)] / cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterSimProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 10u, 20u, 30u,
+                                           40u, 50u));
+
+// ------------------------------------------------- serializer random sweep ----
+
+class SerializerProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SerializerProperty, RandomRoundTrip) {
+  nlh::support::rng gen(GetParam());
+  net::archive_writer w;
+  std::vector<int> ints;
+  std::vector<std::vector<double>> vecs;
+  std::vector<std::string> strs;
+  const int ops = 30;
+  std::vector<int> kinds;
+  for (int op = 0; op < ops; ++op) {
+    const int kind = gen.uniform_int(0, 2);
+    kinds.push_back(kind);
+    if (kind == 0) {
+      ints.push_back(gen.uniform_int(-1000000, 1000000));
+      w.write(ints.back());
+    } else if (kind == 1) {
+      std::vector<double> v(gen.uniform_u64(0, 50));
+      for (auto& x : v) x = gen.normal();
+      vecs.push_back(v);
+      w.write(v);
+    } else {
+      std::string s;
+      const auto len = gen.uniform_u64(0, 40);
+      for (std::uint64_t i = 0; i < len; ++i)
+        s.push_back(static_cast<char>('a' + gen.uniform_int(0, 25)));
+      strs.push_back(s);
+      w.write(s);
+    }
+  }
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  std::size_t ii = 0, vi = 0, si = 0;
+  for (int kind : kinds) {
+    if (kind == 0)
+      EXPECT_EQ(r.read<int>(), ints[ii++]);
+    else if (kind == 1)
+      EXPECT_EQ(r.read_vector<double>(), vecs[vi++]);
+    else
+      EXPECT_EQ(r.read_string(), strs[si++]);
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+// --------------------------------------------------- mailbox random sweep ----
+
+class MailboxProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MailboxProperty, EveryMessageMatchesExactlyOneReceive) {
+  nlh::support::rng gen(GetParam());
+  net::comm_world world(3);
+  struct pending {
+    int src, dst;
+    std::uint64_t tag;
+    int value;
+  };
+  std::vector<pending> plan;
+  for (int i = 0; i < 60; ++i)
+    plan.push_back(pending{gen.uniform_int(0, 2), gen.uniform_int(0, 2),
+                           gen.uniform_u64(0, 5), i});
+
+  // Random interleaving of sends and receives over the same plan.
+  auto recv_order = plan;
+  for (std::size_t i = recv_order.size(); i > 1; --i)
+    std::swap(recv_order[i - 1], recv_order[gen.uniform_u64(0, i - 1)]);
+
+  std::map<std::tuple<int, int, std::uint64_t>, std::vector<int>> sent_fifo;
+  std::vector<std::pair<pending, nlh::amt::future<net::byte_buffer>>> recvs;
+  std::size_t send_i = 0, recv_i = 0;
+  while (send_i < plan.size() || recv_i < recv_order.size()) {
+    const bool do_send =
+        recv_i >= recv_order.size() ||
+        (send_i < plan.size() && gen.next_double() < 0.5);
+    if (do_send) {
+      const auto& p = plan[send_i++];
+      net::archive_writer w;
+      w.write(p.value);
+      world.send(p.src, p.dst, p.tag, w.take());
+      sent_fifo[{p.src, p.dst, p.tag}].push_back(p.value);
+    } else {
+      const auto& p = recv_order[recv_i++];
+      recvs.emplace_back(p, world.recv(p.dst, p.src, p.tag));
+    }
+  }
+  // Every receive resolves (the plan and recv_order are permutations of the
+  // same multiset of keys) and values per key arrive in FIFO order.
+  std::map<std::tuple<int, int, std::uint64_t>, std::vector<int>> got;
+  for (auto& [p, fut] : recvs) {
+    ASSERT_TRUE(fut.is_ready());
+    const auto buf = fut.get();
+    net::archive_reader r(buf);
+    got[{p.src, p.dst, p.tag}].push_back(r.read<int>());
+  }
+  for (auto& [key, values] : got) {
+    auto expected = sent_fifo[key];
+    auto actual = values;
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MailboxProperty,
+                         ::testing::Values(7u, 14u, 21u, 28u, 35u));
+
+// ------------------------------------------------ balancer random sweep ----
+
+class BalancerProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BalancerProperty, ConservationAndValidityUnderRandomBusyTimes) {
+  nlh::support::rng gen(GetParam());
+  const int grid = gen.uniform_int(4, 8);
+  const int nodes = gen.uniform_int(2, 4);
+  dist::tiling t(grid, grid, 10, 2);
+  auto own = dist::ownership_map::from_partition(
+      t, nodes, nlh::partition::block_partition(grid, grid, nodes));
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<double> busy(static_cast<std::size_t>(nodes));
+    for (auto& b : busy) b = gen.uniform(0.1, 2.0);
+    const auto rep = bal::balance_step(t, own, busy);
+
+    int total = 0;
+    for (int c : own.sd_counts()) total += c;
+    EXPECT_EQ(total, t.num_sds());
+    for (int sd = 0; sd < t.num_sds(); ++sd) {
+      EXPECT_GE(own.owner(sd), 0);
+      EXPECT_LT(own.owner(sd), nodes);
+    }
+    // No node is ever emptied.
+    for (int c : own.sd_counts()) EXPECT_GE(c, 1);
+    (void)rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BalancerProperty,
+                         ::testing::Values(3u, 6u, 9u, 12u, 15u, 18u, 21u, 24u));

@@ -1,0 +1,124 @@
+// Tests for the real-solver balancing driver (run_real_balancing) and
+// assertion-contract death tests for key invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "balance/real_driver.hpp"
+#include "net/serializer.hpp"
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/serial_solver.hpp"
+#include "sim/capacity_trace.hpp"
+
+namespace bal = nlh::balance;
+namespace dist = nlh::dist;
+
+namespace {
+
+dist::dist_config cfg33() {
+  dist::dist_config c;
+  c.sd_rows = c.sd_cols = 3;
+  c.sd_size = 6;
+  c.epsilon_factor = 2;
+  return c;
+}
+
+}  // namespace
+
+TEST(RealDriver, RunsAndKeepsSolutionCorrect) {
+  const dist::tiling t(3, 3, 6, 2);
+  dist::dist_solver solver(cfg33(),
+                           dist::ownership_map(t, 2, {0, 0, 0, 0, 0, 0, 0, 1, 1}));
+  solver.set_initial_condition();
+
+  bal::real_balance_config rcfg;
+  rcfg.steps_per_iteration = 2;
+  rcfg.iterations = 2;
+  const auto log = bal::run_real_balancing(solver, rcfg);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(solver.current_step(), 4);
+
+  // Bookkeeping invariants per iteration.
+  for (const auto& e : log) {
+    int before = 0, after = 0;
+    for (int c : e.sd_counts_before) before += c;
+    for (int c : e.sd_counts_after) after += c;
+    EXPECT_EQ(before, 9);
+    EXPECT_EQ(after, 9);
+    ASSERT_EQ(e.busy_fraction.size(), 2u);
+    for (double f : e.busy_fraction) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0 + 1e-6);
+    }
+    if (e.sds_moved > 0) EXPECT_GT(e.migration_bytes, 0u);
+  }
+
+  // Solution still matches the serial reference after all migrations.
+  nlh::nonlocal::solver_config scfg;
+  scfg.n = 18;
+  scfg.epsilon_factor = 2;
+  nlh::nonlocal::serial_solver ref(scfg);
+  ref.set_initial_condition();
+  for (int k = 0; k < 4; ++k) ref.step(k);
+  const auto mine = solver.gather();
+  const auto& g = solver.grid();
+  double maxdiff = 0.0;
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      maxdiff = std::max(maxdiff,
+                         std::abs(mine[g.flat(i, j)] - ref.field()[g.flat(i, j)]));
+  EXPECT_LT(maxdiff, 1e-11);
+}
+
+TEST(RealDriver, OwnershipStaysInSyncWithSolver) {
+  const dist::tiling t(3, 3, 6, 2);
+  dist::dist_solver solver(cfg33(),
+                           dist::ownership_map(t, 3, {0, 0, 0, 0, 0, 1, 2, 2, 2}));
+  solver.set_initial_condition();
+  bal::real_balance_config rcfg;
+  rcfg.steps_per_iteration = 1;
+  rcfg.iterations = 3;
+  const auto log = bal::run_real_balancing(solver, rcfg);
+  // The last iteration's after-counts are the solver's current counts.
+  EXPECT_EQ(log.back().sd_counts_after, solver.owners().sd_counts());
+}
+
+// ------------------------------------------------- assertion death tests ----
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, ArchiveUnderrunAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nlh::net::archive_writer w;
+  w.write(1);
+  const auto buf = w.take();
+  nlh::net::archive_reader r(buf);
+  r.read<int>();
+  EXPECT_DEATH(r.read<double>(), "underrun");
+}
+
+TEST(DeathTest, GridOutOfBoundsAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nlh::nonlocal::grid2d g(4, 0.25);
+  EXPECT_DEATH(g.flat(100, 0), "NLH_ASSERT");
+}
+
+TEST(DeathTest, TilingRejectsSdSmallerThanHorizon) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(dist::tiling(2, 2, 2, 4), "horizon");
+}
+
+TEST(DeathTest, CapacityTraceRejectsUnorderedSegments) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  nlh::sim::capacity_trace t;
+  t.add_segment(0.0, 1.0);
+  EXPECT_DEATH(t.add_segment(0.0, 2.0), "out of order");
+}
+
+TEST(DeathTest, OwnershipRejectsBadNodeId) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  const dist::tiling t(2, 2, 8, 2);
+  EXPECT_DEATH(dist::ownership_map(t, 2, {0, 1, 2, 0}), "out of range");
+}

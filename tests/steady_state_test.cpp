@@ -1,0 +1,200 @@
+// Tests for the steady-state (conjugate gradient) nonlocal solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nonlocal/influence.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+#include "nonlocal/steady_state.hpp"
+
+namespace nl = nlh::nonlocal;
+
+namespace {
+
+struct setup {
+  nl::grid2d grid;
+  nl::influence J;
+  nl::stencil st;
+  double c;
+  setup(int n, double factor, nl::influence_kind kind = nl::influence_kind::constant)
+      : grid(n, factor / n), J(kind), st(grid, J),
+        c(J.scaling_constant(2, 1.0, grid.epsilon())) {}
+};
+
+}  // namespace
+
+TEST(SteadyState, ZeroRhsGivesZeroSolution) {
+  setup s(16, 2);
+  auto b = s.grid.make_field();
+  auto u = s.grid.make_field();
+  const auto res = nl::solve_steady_state(s.grid, s.st, s.c, b, u);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  for (double v : u) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SteadyState, RecoversManufacturedSolution) {
+  setup s(32, 3);
+  const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+  auto u = s.grid.make_field();
+  const auto res = nl::solve_steady_state(s.grid, s.st, s.c, b, u);
+  EXPECT_TRUE(res.converged);
+  double maxdiff = 0.0;
+  for (int i = 0; i < s.grid.n(); ++i)
+    for (int j = 0; j < s.grid.n(); ++j)
+      maxdiff = std::max(maxdiff,
+                         std::abs(u[s.grid.flat(i, j)] - ustar[s.grid.flat(i, j)]));
+  EXPECT_LT(maxdiff, 1e-7);
+}
+
+TEST(SteadyState, ResidualActuallySmall) {
+  setup s(24, 2);
+  const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+  auto u = s.grid.make_field();
+  nl::cg_options opt;
+  opt.tolerance = 1e-12;
+  nl::solve_steady_state(s.grid, s.st, s.c, b, u, opt);
+  // Check ||b + L u|| directly.
+  auto lu = s.grid.make_field();
+  nl::apply_nonlocal_operator(s.grid, s.st, s.c, u, lu, {0, 24, 0, 24});
+  double r2 = 0.0, b2 = 0.0;
+  for (int i = 0; i < 24; ++i)
+    for (int j = 0; j < 24; ++j) {
+      const auto idx = s.grid.flat(i, j);
+      const double r = b[idx] + lu[idx];
+      r2 += r * r;
+      b2 += b[idx] * b[idx];
+    }
+  EXPECT_LT(std::sqrt(r2), 1e-9 * std::sqrt(b2));
+}
+
+TEST(SteadyState, ConvergesForAllKernels) {
+  for (auto kind : {nl::influence_kind::constant, nl::influence_kind::linear,
+                    nl::influence_kind::gaussian}) {
+    setup s(20, 2, kind);
+    const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+    auto u = s.grid.make_field();
+    const auto res = nl::solve_steady_state(s.grid, s.st, s.c, b, u);
+    EXPECT_TRUE(res.converged) << static_cast<int>(kind);
+  }
+}
+
+TEST(SteadyState, IterationCountGrowsWithResolution) {
+  // CG iteration counts track the conditioning; finer meshes at fixed
+  // epsilon-factor need at least as many iterations.
+  int prev = 0;
+  for (int n : {8, 16, 32}) {
+    setup s(n, 2);
+    const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+    auto u = s.grid.make_field();
+    const auto res = nl::solve_steady_state(s.grid, s.st, s.c, b, u);
+    EXPECT_TRUE(res.converged);
+    EXPECT_GE(res.iterations, prev);
+    prev = res.iterations;
+  }
+}
+
+TEST(SteadyState, WarmStartConvergesFaster) {
+  setup s(32, 2);
+  const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+  auto cold = s.grid.make_field();
+  const auto cold_res = nl::solve_steady_state(s.grid, s.st, s.c, b, cold);
+  auto warm = ustar;  // start at the answer
+  const auto warm_res = nl::solve_steady_state(s.grid, s.st, s.c, b, warm);
+  EXPECT_LT(warm_res.iterations, cold_res.iterations);
+}
+
+// --------------------------------------------------- implicit (backward) Euler ----
+
+TEST(ImplicitEuler, StableFarBeyondExplicitBound) {
+  // Explicit forward Euler blows up for dt > 1/(c * weight_sum); implicit
+  // Euler must stay bounded at 50x that.
+  setup s(16, 2);
+  const double dt_explicit = 1.0 / (s.c * s.st.weight_sum());
+  const double dt = 50.0 * dt_explicit;
+
+  // Decay problem: no source, sinusoidal initial condition.
+  auto u = s.grid.make_field();
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      u[s.grid.flat(i, j)] =
+          std::sin(2 * M_PI * s.grid.x(j)) * std::sin(2 * M_PI * s.grid.y(i));
+  const auto zero_b = s.grid.make_field();
+  double prev_norm = 1e300;
+  for (int k = 0; k < 5; ++k) {
+    const auto res = nl::implicit_euler_step(s.grid, s.st, s.c, dt, zero_b, u);
+    EXPECT_TRUE(res.converged);
+    double norm = 0.0;
+    for (double v : u) norm += v * v;
+    EXPECT_LT(norm, prev_norm);  // pure decay, monotone
+    prev_norm = norm;
+    for (double v : u) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(ImplicitEuler, AgreesWithExplicitAtSmallDt) {
+  // For dt well inside the stability region both schemes are O(dt)
+  // accurate and must agree to O(dt^2) per step.
+  setup s(16, 2);
+  const double dt = 0.02 / (s.c * s.st.weight_sum());
+  auto u_imp = s.grid.make_field();
+  auto u_exp = s.grid.make_field();
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      const double v =
+          std::sin(2 * M_PI * s.grid.x(j)) * std::sin(2 * M_PI * s.grid.y(i));
+      u_imp[s.grid.flat(i, j)] = v;
+      u_exp[s.grid.flat(i, j)] = v;
+    }
+  const auto zero_b = s.grid.make_field();
+
+  nl::cg_options tight;
+  tight.tolerance = 1e-13;
+  nl::implicit_euler_step(s.grid, s.st, s.c, dt, zero_b, u_imp, tight);
+
+  auto lu = s.grid.make_field();
+  nl::apply_nonlocal_operator(s.grid, s.st, s.c, u_exp, lu, {0, 16, 0, 16});
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      const auto idx = s.grid.flat(i, j);
+      u_exp[idx] += dt * lu[idx];
+    }
+
+  double maxdiff = 0.0, maxval = 0.0;
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j) {
+      const auto idx = s.grid.flat(i, j);
+      maxdiff = std::max(maxdiff, std::abs(u_imp[idx] - u_exp[idx]));
+      maxval = std::max(maxval, std::abs(u_exp[idx]));
+    }
+  EXPECT_LT(maxdiff, 1e-3 * maxval);
+}
+
+TEST(ImplicitEuler, ConvergesToSteadyStateUnderConstantSource) {
+  // With a fixed source, backward-Euler iterates approach the steady
+  // solution of -L u = b for large dt.
+  setup s(20, 2);
+  const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+  auto u = s.grid.make_field();
+  const double dt = 1000.0 / (s.c * s.st.weight_sum());
+  for (int k = 0; k < 30; ++k) nl::implicit_euler_step(s.grid, s.st, s.c, dt, b, u);
+  double maxdiff = 0.0;
+  for (int i = 0; i < 20; ++i)
+    for (int j = 0; j < 20; ++j)
+      maxdiff = std::max(maxdiff,
+                         std::abs(u[s.grid.flat(i, j)] - ustar[s.grid.flat(i, j)]));
+  EXPECT_LT(maxdiff, 1e-3);
+}
+
+TEST(SteadyState, RespectsMaxIterations) {
+  setup s(32, 2);
+  const auto [b, ustar] = nl::manufactured_steady_problem(s.grid, s.st, s.c);
+  auto u = s.grid.make_field();
+  nl::cg_options opt;
+  opt.max_iterations = 2;
+  opt.tolerance = 1e-14;
+  const auto res = nl::solve_steady_state(s.grid, s.st, s.c, b, u, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2);
+}

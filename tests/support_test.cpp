@@ -1,0 +1,259 @@
+// Unit tests for nlh::support: statistics, RNG, span2d, tables, CLI.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/span2d.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace ns = nlh::support;
+
+// ---------------------------------------------------------------- stats ----
+
+TEST(RunningStats, EmptyIsZero) {
+  ns::running_stats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  ns::running_stats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 42.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  ns::running_stats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  ns::running_stats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  ns::running_stats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  ns::running_stats rs;
+  rs.add(5.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ns::mean(xs), 2.5);
+  EXPECT_NEAR(ns::stddev(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_DOUBLE_EQ(ns::mean({}), 0.0);
+}
+
+TEST(BatchStats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(ns::median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(ns::median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(BatchStats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(ns::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ns::percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(ns::percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(ns::percentile(xs, 25), 20.0);
+}
+
+TEST(ImbalanceMetrics, BalancedIsZero) {
+  EXPECT_DOUBLE_EQ(ns::imbalance_cov({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ns::imbalance_ratio({1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(ImbalanceMetrics, KnownImbalance) {
+  // max/mean - 1 with one node doing double work.
+  EXPECT_NEAR(ns::imbalance_ratio({2.0, 1.0, 1.0}), 2.0 / (4.0 / 3.0) - 1.0, 1e-12);
+  EXPECT_GT(ns::imbalance_cov({2.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(ImbalanceMetrics, AllZeroBusyIsZero) {
+  EXPECT_DOUBLE_EQ(ns::imbalance_cov({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ns::imbalance_ratio({0.0, 0.0}), 0.0);
+}
+
+// ------------------------------------------------------------------ rng ----
+
+TEST(Rng, DeterministicForSeed) {
+  ns::rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ns::rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  ns::rng g(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  ns::rng g(99);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) ++hits[static_cast<std::size_t>(g.uniform_int(0, 4))];
+  for (int h : hits) EXPECT_GT(h, 800);  // ~1000 each
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  ns::rng g(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(g.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  ns::rng g(2024);
+  ns::running_stats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(g.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ReseedReproduces) {
+  ns::rng g(11);
+  const auto x = g.next_u64();
+  g.reseed(11);
+  EXPECT_EQ(g.next_u64(), x);
+}
+
+// --------------------------------------------------------------- span2d ----
+
+TEST(Span2d, IndexingIsRowMajor) {
+  std::vector<int> v{0, 1, 2, 3, 4, 5};
+  ns::span2d<int> s(v, 2, 3);
+  EXPECT_EQ(s(0, 0), 0);
+  EXPECT_EQ(s(0, 2), 2);
+  EXPECT_EQ(s(1, 0), 3);
+  EXPECT_EQ(s(1, 2), 5);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 3u);
+}
+
+TEST(Span2d, WritesThrough) {
+  std::vector<int> v(4, 0);
+  ns::span2d<int> s(v, 2, 2);
+  s(1, 1) = 9;
+  EXPECT_EQ(v[3], 9);
+}
+
+TEST(Span2d, RowPointer) {
+  std::vector<double> v{1, 2, 3, 4};
+  ns::span2d<double> s(v, 2, 2);
+  EXPECT_EQ(s.row(1)[0], 3.0);
+}
+
+TEST(Span2d, ConstView) {
+  const std::vector<int> v{1, 2};
+  ns::span2d<const int> s(v, 1, 2);
+  EXPECT_EQ(s(0, 1), 2);
+}
+
+// ---------------------------------------------------------------- table ----
+
+TEST(Table, AlignedPrint) {
+  ns::table t({"name", "value"});
+  t.row().add("x").add(1.5);
+  t.row().add("long-name").add(2);
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  ns::table t({"a", "b"});
+  t.row().add(1).add(2);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtDouble) {
+  EXPECT_EQ(ns::fmt_double(1.0, 4), "1");
+  EXPECT_EQ(ns::fmt_double(0.125, 4), "0.125");
+  EXPECT_EQ(ns::fmt_double(1234567.0, 3), "1.23e+06");
+}
+
+// ------------------------------------------------------------------ cli ----
+
+TEST(Cli, KeyValuePairs) {
+  const char* argv[] = {"prog", "--n", "64", "--eps", "0.25", "--verbose"};
+  ns::cli c(6, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_int("n", 0), 64);
+  EXPECT_DOUBLE_EQ(c.get_double("eps", 0.0), 0.25);
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_EQ(c.get_int("missing", 7), 7);
+}
+
+TEST(Cli, EqualsSyntax) {
+  const char* argv[] = {"prog", "--n=32"};
+  ns::cli c(2, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_int("n", 0), 32);
+}
+
+TEST(Cli, Positional) {
+  const char* argv[] = {"prog", "file.txt", "--k", "2", "other"};
+  ns::cli c(5, const_cast<char**>(argv));
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "file.txt");
+  EXPECT_EQ(c.positional()[1], "other");
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--a", "yes", "--b", "0"};
+  ns::cli c(5, const_cast<char**>(argv));
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+}
