@@ -130,9 +130,16 @@ class promise {
 
   template <class... Args>
   void set_value(Args&&... args) {
-    state_->set_value(std::forward<Args>(args)...);
+    // Pin the state for the whole fulfillment: a waiter woken inside
+    // set_value may destroy this promise (and the future) immediately,
+    // which must not tear the state down under the notifying thread.
+    auto s = state_;
+    s->set_value(std::forward<Args>(args)...);
   }
-  void set_exception(std::exception_ptr e) { state_->set_exception(std::move(e)); }
+  void set_exception(std::exception_ptr e) {
+    auto s = state_;
+    s->set_exception(std::move(e));
+  }
 
  private:
   template <class U>

@@ -1,5 +1,6 @@
 #include "amt/thread_pool.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "amt/counters.hpp"
@@ -89,14 +90,37 @@ bool thread_pool::try_help_one() {
 }
 
 void thread_pool::run_task(unique_function<void()> task) {
+  // Account at task *start* and track the in-flight stamp: a waiter woken
+  // by a promise fulfilled inside `task` must already see this task in the
+  // execution count and its elapsed time in busy_time_s().
   const auto t0 = std::chrono::steady_clock::now();
-  task();
-  const auto t1 = std::chrono::steady_clock::now();
-  busy_ns_.fetch_add(
-      static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
-      std::memory_order_relaxed);
+  const auto t0_ns = t0.time_since_epoch().count();
+  std::uint64_t my_epoch;
+  {
+    std::lock_guard lk(active_m_);
+    my_epoch = busy_epoch_;
+    active_start_ns_.push_back(t0_ns);
+  }
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+
+  task();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  {
+    // Retire the stamp and bank the duration under one lock so concurrent
+    // busy_time_s() readers see the task as either in flight or completed,
+    // never neither. A task spanning a reset banks nothing — see the
+    // reset_busy_time() contract.
+    std::lock_guard lk(active_m_);
+    if (my_epoch != busy_epoch_) return;
+    const auto it =
+        std::find(active_start_ns_.begin(), active_start_ns_.end(), t0_ns);
+    if (it != active_start_ns_.end()) active_start_ns_.erase(it);
+    busy_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()),
+        std::memory_order_relaxed);
+  }
 }
 
 void thread_pool::worker_loop(unsigned index) {
@@ -118,7 +142,12 @@ void thread_pool::worker_loop(unsigned index) {
 }
 
 double thread_pool::busy_time_s() const {
-  return static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  const auto now_ns = std::chrono::steady_clock::now().time_since_epoch().count();
+  std::lock_guard lk(active_m_);
+  double total = static_cast<double>(busy_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  for (const auto start_ns : active_start_ns_)
+    if (now_ns > start_ns) total += static_cast<double>(now_ns - start_ns) * 1e-9;
+  return total;
 }
 
 double thread_pool::busy_fraction() const {
@@ -134,8 +163,13 @@ double thread_pool::busy_fraction() const {
 }
 
 void thread_pool::reset_busy_time() {
+  {
+    std::lock_guard lk(active_m_);
+    ++busy_epoch_;
+    active_start_ns_.clear();
+    busy_ns_.store(0, std::memory_order_relaxed);
+  }
   std::lock_guard lk(interval_m_);
-  busy_ns_.store(0, std::memory_order_relaxed);
   interval_start_ = std::chrono::steady_clock::now();
 }
 

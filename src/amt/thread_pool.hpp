@@ -57,13 +57,21 @@ class thread_pool {
   int locality() const { return locality_; }
 
   /// Total wall-seconds all workers spent executing tasks since the last
-  /// reset_busy_time().
+  /// reset_busy_time(), including the elapsed time of tasks still running.
+  /// Counting in-flight work keeps the reading consistent for callers woken
+  /// by a promise fulfilled *inside* a task (the task is observably "spent"
+  /// even though its wrapper has not returned yet).
   double busy_time_s() const;
 
   /// busy_time_s() / (workers * interval length): the fraction HPX's
   /// busy_time counter reports. 0 when the interval is empty.
   double busy_fraction() const;
 
+  /// Open a new measurement interval: the reading drops to exactly zero.
+  /// Contract: tasks still in flight are attributed wholly to the interval
+  /// being closed — their remaining time is not counted in the new one.
+  /// Reset at a quiescent point (between steps/runs, as the balancing
+  /// drivers do) for exact accounting.
   void reset_busy_time();
 
   std::uint64_t tasks_executed() const { return tasks_executed_.load(std::memory_order_relaxed); }
@@ -93,6 +101,9 @@ class thread_pool {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> busy_ns_{0};
   std::atomic<std::uint64_t> tasks_executed_{0};
+  mutable std::mutex active_m_;
+  std::vector<std::int64_t> active_start_ns_;  ///< start stamps of running tasks
+  std::uint64_t busy_epoch_ = 0;  ///< bumped by reset; orphans spanning tasks
   std::chrono::steady_clock::time_point interval_start_;
   mutable std::mutex interval_m_;
   int locality_ = -1;

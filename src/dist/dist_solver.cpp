@@ -1,0 +1,279 @@
+#include "dist/dist_solver.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "amt/async.hpp"
+#include "net/serializer.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+
+namespace nlh::dist {
+
+dist_solver::dist_solver(const dist_config& cfg, ownership_map own)
+    : cfg_(cfg),
+      tiling_(cfg.sd_rows, cfg.sd_cols, cfg.sd_size, cfg.epsilon_factor),
+      own_(std::move(own)),
+      grid_(cfg.sd_cols * cfg.sd_size,
+            static_cast<double>(cfg.epsilon_factor) / (cfg.sd_cols * cfg.sd_size)),
+      J_(cfg.kind),
+      stencil_(grid_, J_),
+      c_(J_.scaling_constant(2, cfg.conductivity, grid_.epsilon())),
+      dt_(cfg.dt > 0.0 ? cfg.dt : cfg.dt_safety * nonlocal::stable_dt(c_, stencil_)),
+      problem_(grid_, stencil_, c_),
+      comm_(own_.num_nodes()),
+      w_field_(grid_.make_field()),
+      b_field_(grid_.make_field()) {
+  NLH_ASSERT_MSG(tiling_.mesh_rows() == tiling_.mesh_cols(),
+                 "dist_solver: the global mesh must be square");
+  NLH_ASSERT(own_.num_sds() == tiling_.num_sds());
+  NLH_ASSERT_MSG(grid_.ghost() == cfg.epsilon_factor,
+                 "dist_solver: grid ghost width must equal epsilon_factor");
+  NLH_ASSERT(cfg.threads_per_locality >= 1);
+
+  pools_.reserve(static_cast<std::size_t>(own_.num_nodes()));
+  for (int l = 0; l < own_.num_nodes(); ++l)
+    pools_.push_back(std::make_unique<amt::thread_pool>(
+        static_cast<unsigned>(cfg.threads_per_locality)));
+
+  blocks_.reserve(static_cast<std::size_t>(tiling_.num_sds()));
+  lu_.reserve(static_cast<std::size_t>(tiling_.num_sds()));
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    blocks_.push_back(std::make_unique<sd_block>(tiling_, sd));
+    lu_.emplace_back(
+        static_cast<std::size_t>(blocks_.back()->stride()) * blocks_.back()->stride(),
+        0.0);
+  }
+}
+
+std::uint64_t dist_solver::ghost_tag(int step, int sd, direction d) const {
+  return (static_cast<std::uint64_t>(step) * static_cast<std::uint64_t>(tiling_.num_sds()) +
+          static_cast<std::uint64_t>(sd)) *
+             num_directions +
+         static_cast<std::uint64_t>(d);
+}
+
+std::uint64_t dist_solver::migration_tag(int sd) const {
+  return (1ull << 63) | static_cast<std::uint64_t>(sd);
+}
+
+void dist_solver::set_initial_condition() {
+  const int s = tiling_.sd_size();
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+    for (int i = 0; i < s; ++i)
+      for (int j = 0; j < s; ++j)
+        blk.u()[blk.flat(i, j)] = nonlocal::manufactured_problem::u0(
+            grid_.x(blk.origin_col() + j), grid_.y(blk.origin_row() + i));
+  }
+}
+
+void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_now) {
+  if (rect.empty()) return;
+  auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+  auto& lu = lu_[static_cast<std::size_t>(sd)];
+
+  nonlocal::apply_nonlocal_operator_raw(blk.u().data(), lu.data(), blk.stride(),
+                                        blk.ghost(), stencil_, c_, rect);
+
+  // The manufactured source over the matching global rectangle. Rects of
+  // concurrent tasks are disjoint, so the shared scratch is race-free.
+  const nonlocal::dp_rect grect{rect.row_begin + blk.origin_row(),
+                                rect.row_end + blk.origin_row(),
+                                rect.col_begin + blk.origin_col(),
+                                rect.col_end + blk.origin_col()};
+  problem_.source_into(t_now, w_field_, b_field_, grect);
+
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j) {
+      const auto idx = blk.flat(i, j);
+      const auto gidx = grid_.flat(blk.origin_row() + i, blk.origin_col() + j);
+      blk.u_next()[idx] = blk.u()[idx] + dt_ * (lu[idx] + b_field_[gidx]);
+    }
+}
+
+void dist_solver::step() {
+  const double t_now = step_ * dt_;
+
+  // w(t_k) on the global grid — analytic, so no communication is needed;
+  // each locality evaluates its own SDs' rectangles (disjoint writes).
+  // Everything must land before compute tasks read across SD boundaries,
+  // so these futures are awaited below, before the computes are posted.
+  std::vector<amt::future<void>> w_pending;
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    w_pending.push_back(amt::async(
+        *pools_[static_cast<std::size_t>(own_.owner(sd))], [this, sd, t_now] {
+          const auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+          for (int i = 0; i < tiling_.sd_size(); ++i)
+            for (int j = 0; j < tiling_.sd_size(); ++j) {
+              const int gi = blk.origin_row() + i;
+              const int gj = blk.origin_col() + j;
+              w_field_[grid_.flat(gi, gj)] =
+                  nonlocal::manufactured_problem::w(t_now, grid_.x(gj), grid_.y(gi));
+            }
+        }));
+  }
+
+  // Same-locality collar fills: direct copies, no serialization.
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd)
+    for (const auto& [d, nb] : tiling_.neighbors(sd))
+      if (own_.owner(nb) == own_.owner(sd))
+        blocks_[static_cast<std::size_t>(sd)]->fill_from_local(
+            tiling_, d, *blocks_[static_cast<std::size_t>(nb)]);
+
+  // Post the futurized receives, then the pack/send tasks on the sender
+  // pools. Receiver-centric enumeration: each cross-locality (sd, d) pair
+  // is one message.
+  std::vector<std::vector<amt::future<net::byte_buffer>>> futs(
+      static_cast<std::size_t>(tiling_.num_sds()));
+  std::vector<std::vector<direction>> fut_dirs(
+      static_cast<std::size_t>(tiling_.num_sds()));
+  std::vector<amt::future<void>> pending;
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    const int dst = own_.owner(sd);
+    for (const auto& [d, nb] : tiling_.neighbors(sd)) {
+      // Plain locals: lambdas cannot capture structured bindings in C++17.
+      const direction dir = d;
+      const int sender_sd = nb;
+      const int src = own_.owner(sender_sd);
+      if (src == dst) continue;
+      const auto tag = ghost_tag(step_, sd, dir);
+      futs[static_cast<std::size_t>(sd)].push_back(comm_.recv(dst, src, tag));
+      fut_dirs[static_cast<std::size_t>(sd)].push_back(dir);
+      pending.push_back(amt::async(
+          *pools_[static_cast<std::size_t>(src)],
+          [this, sender_sd, src, dst, tag, pack_dir = opposite(dir)] {
+            net::archive_writer w;
+            w.write(blocks_[static_cast<std::size_t>(sender_sd)]->pack(tiling_, pack_dir));
+            auto buf = w.take();
+            ghost_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+            comm_.send(src, dst, tag, std::move(buf));
+          }));
+    }
+  }
+
+  // The source evaluation inside compute_rect reads w up to `ghost` cells
+  // beyond its own SD: every w rectangle must be in place first.
+  for (auto& f : w_pending) f.wait();
+
+  if (!cfg_.overlap_communication) {
+    // Bulk-synchronous baseline: drain every ghost before any compute.
+    for (int sd = 0; sd < tiling_.num_sds(); ++sd)
+      for (std::size_t i = 0; i < futs[static_cast<std::size_t>(sd)].size(); ++i) {
+        const auto buf = futs[static_cast<std::size_t>(sd)][i].get();
+        net::archive_reader r(buf);
+        blocks_[static_cast<std::size_t>(sd)]->unpack(
+            tiling_, fut_dirs[static_cast<std::size_t>(sd)][i],
+            r.read_vector<double>());
+      }
+  }
+
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    auto& pool = *pools_[static_cast<std::size_t>(own_.owner(sd))];
+    const auto split = compute_case_split(tiling_, sd, own_.raw());
+
+    // Case 2: needs no foreign data — runs while messages are in flight.
+    pending.push_back(amt::async(
+        pool, [this, sd, rect = split.interior, t_now] { compute_rect(sd, rect, t_now); }));
+
+    if (split.remote_strips.empty()) continue;
+    if (!cfg_.overlap_communication) {
+      pending.push_back(amt::async(pool, [this, sd, strips = split.remote_strips, t_now] {
+        for (const auto& rect : strips) compute_rect(sd, rect, t_now);
+      }));
+      continue;
+    }
+    // Case 1: chained on the arrival of all of this SD's remote ghosts;
+    // the continuation hops onto the owner's pool (amt::dataflow).
+    pending.push_back(amt::dataflow(
+        pool, std::move(futs[static_cast<std::size_t>(sd)]),
+        [this, sd, dirs = fut_dirs[static_cast<std::size_t>(sd)],
+         strips = split.remote_strips,
+         t_now](std::vector<amt::future<net::byte_buffer>> ready) {
+          for (std::size_t i = 0; i < ready.size(); ++i) {
+            const auto buf = ready[i].get();
+            net::archive_reader r(buf);
+            blocks_[static_cast<std::size_t>(sd)]->unpack(tiling_, dirs[i],
+                                                          r.read_vector<double>());
+          }
+          for (const auto& rect : strips) compute_rect(sd, rect, t_now);
+        }));
+  }
+
+  for (auto& f : pending) f.wait();
+
+  for (auto& blk : blocks_) blk->swap_fields();
+  ++step_;
+}
+
+void dist_solver::run(int steps) {
+  for (int k = 0; k < steps; ++k) step();
+}
+
+std::vector<double> dist_solver::gather() const {
+  auto field = grid_.make_field();
+  const int s = tiling_.sd_size();
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    const auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+    for (int i = 0; i < s; ++i)
+      for (int j = 0; j < s; ++j)
+        field[grid_.flat(blk.origin_row() + i, blk.origin_col() + j)] =
+            blk.u()[blk.flat(i, j)];
+  }
+  return field;
+}
+
+double dist_solver::busy_fraction(int locality) const {
+  NLH_ASSERT(locality >= 0 && locality < own_.num_nodes());
+  return pools_[static_cast<std::size_t>(locality)]->busy_fraction();
+}
+
+void dist_solver::reset_busy_counters() {
+  for (auto& pool : pools_) pool->reset_busy_time();
+}
+
+void dist_solver::migrate_sd(int sd, int to_node) {
+  NLH_ASSERT(sd >= 0 && sd < tiling_.num_sds());
+  NLH_ASSERT(to_node >= 0 && to_node < own_.num_nodes());
+  const int from = own_.owner(sd);
+  if (from == to_node) return;
+
+  auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+  net::archive_writer w;
+  w.write(blk.interior());
+  comm_.send(from, to_node, migration_tag(sd), w.take());
+
+  const auto buf = comm_.recv(to_node, from, migration_tag(sd)).get();
+  net::archive_reader r(buf);
+  blk.set_interior(r.read_vector<double>());
+
+  own_.set_owner(sd, to_node);
+}
+
+net::byte_buffer dist_solver::checkpoint() const {
+  net::archive_writer w;
+  w.write(static_cast<std::int64_t>(step_));
+  w.write(own_.raw());
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd)
+    w.write(blocks_[static_cast<std::size_t>(sd)]->interior());
+  return w.take();
+}
+
+void dist_solver::restore(const net::byte_buffer& state) {
+  net::archive_reader r(state);
+  step_ = static_cast<int>(r.read<std::int64_t>());
+  const auto owners = r.read_vector<int>();
+  NLH_ASSERT_MSG(owners.size() == static_cast<std::size_t>(tiling_.num_sds()),
+                 "dist_solver::restore: SD count mismatch");
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd)
+    own_.set_owner(sd, owners[static_cast<std::size_t>(sd)]);
+
+  for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
+    auto& blk = *blocks_[static_cast<std::size_t>(sd)];
+    std::fill(blk.u().begin(), blk.u().end(), 0.0);
+    std::fill(blk.u_next().begin(), blk.u_next().end(), 0.0);
+    blk.set_interior(r.read_vector<double>());
+  }
+  NLH_ASSERT_MSG(r.exhausted(), "dist_solver::restore: trailing bytes in snapshot");
+}
+
+}  // namespace nlh::dist

@@ -1,0 +1,51 @@
+#include "dist/domain_mask.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nlh::dist {
+
+domain_mask domain_mask::from_predicate(
+    const tiling& t, const std::function<bool(int row, int col)>& keep) {
+  std::vector<char> active(static_cast<std::size_t>(t.num_sds()), 0);
+  for (int r = 0; r < t.sd_rows(); ++r)
+    for (int c = 0; c < t.sd_cols(); ++c)
+      active[static_cast<std::size_t>(t.sd_at(r, c))] = keep(r, c) ? 1 : 0;
+  return domain_mask(std::move(active));
+}
+
+domain_mask domain_mask::full(const tiling& t) {
+  return from_predicate(t, [](int, int) { return true; });
+}
+
+domain_mask domain_mask::l_shape(const tiling& t) {
+  const int half_rows = t.sd_rows() / 2;
+  const int half_cols = t.sd_cols() / 2;
+  return from_predicate(t, [half_rows, half_cols](int r, int c) {
+    return !(r < half_rows && c >= half_cols);
+  });
+}
+
+domain_mask domain_mask::disk(const tiling& t) {
+  const double cy = t.sd_rows() / 2.0;
+  const double cx = t.sd_cols() / 2.0;
+  const double radius = std::min(t.sd_rows(), t.sd_cols()) / 2.0;
+  return from_predicate(t, [cy, cx, radius](int r, int c) {
+    const double dy = (r + 0.5) - cy;
+    const double dx = (c + 0.5) - cx;
+    return dy * dy + dx * dx <= radius * radius;
+  });
+}
+
+int domain_mask::num_active() const {
+  return static_cast<int>(std::count(active_.begin(), active_.end(), 1));
+}
+
+std::vector<int> domain_mask::active_sds() const {
+  std::vector<int> out;
+  for (std::size_t sd = 0; sd < active_.size(); ++sd)
+    if (active_[sd]) out.push_back(static_cast<int>(sd));
+  return out;
+}
+
+}  // namespace nlh::dist

@@ -1,0 +1,49 @@
+#include "dist/tiling.hpp"
+
+namespace nlh::dist {
+
+case_split compute_case_split(const tiling& t, int sd, const std::vector<int>& owner,
+                              const std::vector<char>* active) {
+  NLH_ASSERT(static_cast<int>(owner.size()) == t.num_sds());
+  NLH_ASSERT(!active || static_cast<int>(active->size()) == t.num_sds());
+
+  const int me = owner[static_cast<std::size_t>(sd)];
+  bool remote_n = false, remote_s = false, remote_w = false, remote_e = false;
+  for (int d = 0; d < num_directions; ++d) {
+    const auto dir = static_cast<direction>(d);
+    const auto nb = t.neighbor(sd, dir);
+    if (!nb) continue;
+    if (active && !(*active)[static_cast<std::size_t>(*nb)]) continue;
+    if (owner[static_cast<std::size_t>(*nb)] == me) continue;
+    const auto [dr, dc] = direction_offset(dir);
+    remote_n = remote_n || dr < 0;
+    remote_s = remote_s || dr > 0;
+    remote_w = remote_w || dc < 0;
+    remote_e = remote_e || dc > 0;
+  }
+
+  const int s = t.sd_size();
+  const int g = t.ghost();
+  // Clamp the margins so the four strips plus the interior always form an
+  // exact partition of the SD, even when opposite margins overlap (tiny SDs
+  // where sd_size == ghost).
+  const int top = std::min(remote_n ? g : 0, s);
+  const int bottom = std::max(s - (remote_s ? g : 0), top);
+  const int left = std::min(remote_w ? g : 0, s);
+  const int right = std::max(s - (remote_e ? g : 0), left);
+
+  case_split split;
+  split.interior = nonlocal::dp_rect{top, bottom, left, right};
+
+  auto add_strip = [&split](int r0, int r1, int c0, int c1) {
+    const nonlocal::dp_rect r{r0, r1, c0, c1};
+    if (!r.empty()) split.remote_strips.push_back(r);
+  };
+  add_strip(0, top, 0, s);            // north margin, full width
+  add_strip(bottom, s, 0, s);         // south margin, full width
+  add_strip(top, bottom, 0, left);    // west margin between them
+  add_strip(top, bottom, right, s);   // east margin between them
+  return split;
+}
+
+}  // namespace nlh::dist

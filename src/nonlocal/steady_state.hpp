@@ -11,6 +11,7 @@
 /// horizon shrinks. Complements the transient forward-Euler solver.
 ///
 
+#include <utility>
 #include <vector>
 
 #include "nonlocal/grid2d.hpp"
