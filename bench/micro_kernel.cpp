@@ -1,16 +1,33 @@
 ///
 /// \file micro_kernel.cpp
-/// \brief google-benchmark microbenchmarks of the nonlocal kernel: DP-update
-/// throughput vs horizon factor, SD size, and influence function.
+/// \brief google-benchmark microbenchmarks of the nonlocal kernel — DP-update
+/// throughput vs horizon factor, SD size, influence function and backend —
+/// plus a self-contained guard pass that measures the scalar / row_run / simd
+/// backends head-to-head and writes BENCH_kernel.json.
+///
+/// The guard is the regression fence for the ROADMAP "SIMD stencil kernel"
+/// item: the process exits non-zero unless the best vectorized backend
+/// sustains >= 1.5x the scalar entry-list throughput at every epsilon factor
+/// >= 4. Set NLH_BENCH_KERNEL_JSON to redirect the report (default:
+/// ./BENCH_kernel.json).
 ///
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "nonlocal/grid2d.hpp"
 #include "nonlocal/influence.hpp"
+#include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/nonlocal_operator.hpp"
 #include "nonlocal/problem.hpp"
 #include "nonlocal/stencil.hpp"
+#include "support/stopwatch.hpp"
 
 namespace nl = nlh::nonlocal;
 
@@ -20,12 +37,13 @@ static void BM_KernelVsEpsilon(benchmark::State& state) {
   nl::grid2d grid(n, static_cast<double>(eps_factor) / n);
   nl::influence J;
   nl::stencil st(grid, J);
+  nl::stencil_plan plan(st);
   auto u = grid.make_field();
   auto out = grid.make_field();
   for (std::size_t i = 0; i < u.size(); ++i) u[i] = 1e-3 * static_cast<double>(i % 101);
   const nl::dp_rect all{0, n, 0, n};
   for (auto _ : state) {
-    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    nl::apply_nonlocal_operator(grid, plan, 1.0, u, out, all);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n);
@@ -33,16 +51,45 @@ static void BM_KernelVsEpsilon(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelVsEpsilon)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+/// Head-to-head backend comparison at a fixed horizon: range(0) is the
+/// epsilon factor, range(1) the kernel_backend enum value.
+static void BM_KernelBackends(benchmark::State& state) {
+  const int eps_factor = static_cast<int>(state.range(0));
+  const auto backend = static_cast<nl::kernel_backend>(state.range(1));
+  const int n = 96;
+  nl::grid2d grid(n, static_cast<double>(eps_factor) / n);
+  nl::influence J;
+  nl::stencil st(grid, J);
+  nl::stencil_plan plan(st);
+  auto u = grid.make_field();
+  auto out = grid.make_field();
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = 1e-3 * static_cast<double>(i % 101);
+  const nl::dp_rect all{0, n, 0, n};
+  for (auto _ : state) {
+    nl::apply_nonlocal_operator_raw(u.data(), out.data(), grid.stride(), grid.ghost(),
+                                    plan, 1.0, all, backend);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.SetLabel(nl::kernel_backend_name(backend));
+}
+BENCHMARK(BM_KernelBackends)
+    ->ArgsProduct({{2, 4, 8, 16},
+                   {static_cast<long>(nl::kernel_backend::scalar),
+                    static_cast<long>(nl::kernel_backend::row_run),
+                    static_cast<long>(nl::kernel_backend::simd)}});
+
 static void BM_KernelVsBlockSize(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   nl::grid2d grid(n, 4.0 / n);
   nl::influence J;
   nl::stencil st(grid, J);
+  nl::stencil_plan plan(st);
   auto u = grid.make_field();
   auto out = grid.make_field();
   const nl::dp_rect all{0, n, 0, n};
   for (auto _ : state) {
-    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    nl::apply_nonlocal_operator(grid, plan, 1.0, u, out, all);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n);
@@ -55,11 +102,12 @@ static void BM_KernelInfluenceKinds(benchmark::State& state) {
   nl::grid2d grid(n, 4.0 / n);
   nl::influence J(kind);
   nl::stencil st(grid, J);
+  nl::stencil_plan plan(st);
   auto u = grid.make_field();
   auto out = grid.make_field();
   const nl::dp_rect all{0, n, 0, n};
   for (auto _ : state) {
-    nl::apply_nonlocal_operator(grid, st, 1.0, u, out, all);
+    nl::apply_nonlocal_operator(grid, plan, 1.0, u, out, all);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n);
@@ -83,3 +131,140 @@ static void BM_ManufacturedSource(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n);
 }
 BENCHMARK(BM_ManufacturedSource);
+
+// -------------------------------------------------------------- guard pass --
+
+namespace {
+
+/// Million DP updates per second for one backend, self-calibrating the
+/// repetition count to ~25 ms of measurement.
+double measure_mdps(const nl::grid2d& grid, const nl::stencil_plan& plan,
+                    const std::vector<double>& u, std::vector<double>& out,
+                    nl::kernel_backend backend) {
+  const nl::dp_rect all{0, grid.n(), 0, grid.n()};
+  auto apply = [&](int reps) {
+    for (int r = 0; r < reps; ++r) {
+      nl::apply_nonlocal_operator_raw(u.data(), out.data(), grid.stride(),
+                                      grid.ghost(), plan, 1.0, all, backend);
+      benchmark::DoNotOptimize(out.data());
+    }
+  };
+  apply(1);  // warm-up
+  int reps = 1;
+  double elapsed = 0.0;
+  for (;;) {
+    nlh::support::stopwatch sw;
+    apply(reps);
+    elapsed = sw.elapsed_s();
+    if (elapsed >= 0.025 || reps > (1 << 24)) break;
+    reps *= 2;
+  }
+  const double dp = static_cast<double>(reps) * grid.n() * grid.n();
+  return dp / elapsed / 1e6;
+}
+
+/// Measure every backend at every epsilon factor and write the guard JSON.
+/// Returns true when the best vectorized backend clears 1.5x scalar at every
+/// factor >= 4.
+bool run_kernel_guard(const char* path) {
+  const int n = 96;
+  const int factors[] = {2, 4, 8, 16};
+  constexpr double required_speedup = 1.5;
+
+  std::string rows;
+  bool pass = true;
+  double min_best_speedup_ge4 = 0.0;
+  bool have_ge4 = false;
+
+  std::printf("\nkernel guard (n=%d, simd %s):\n", n,
+              nl::kernel_simd_available() ? "available" : "unavailable");
+  for (const int f : factors) {
+    nl::grid2d grid(n, static_cast<double>(f) / n);
+    nl::influence J;
+    nl::stencil st(grid, J);
+    nl::stencil_plan plan(st);
+    auto u = grid.make_field();
+    auto out = grid.make_field();
+    for (std::size_t i = 0; i < u.size(); ++i)
+      u[i] = 1e-3 * static_cast<double>(i % 101);
+
+    const double scalar = measure_mdps(grid, plan, u, out, nl::kernel_backend::scalar);
+    const double row_run = measure_mdps(grid, plan, u, out, nl::kernel_backend::row_run);
+    const double simd = measure_mdps(grid, plan, u, out, nl::kernel_backend::simd);
+    const double best = std::max(row_run, simd);
+    const double best_speedup = best / scalar;
+
+    if (f >= 4) {
+      if (!have_ge4 || best_speedup < min_best_speedup_ge4)
+        min_best_speedup_ge4 = best_speedup;
+      have_ge4 = true;
+      if (best_speedup < required_speedup) pass = false;
+    }
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"eps_factor\": %d, \"stencil_size\": %zu, "
+                  "\"scalar_mdps\": %.2f, \"row_run_mdps\": %.2f, "
+                  "\"simd_mdps\": %.2f, \"row_run_speedup\": %.3f, "
+                  "\"simd_speedup\": %.3f}",
+                  f, st.size(), scalar, row_run, simd, row_run / scalar,
+                  simd / scalar);
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+    std::printf("  eps=%2d  scalar %8.2f  row_run %8.2f (%.2fx)  simd %8.2f "
+                "(%.2fx) MDP/s\n",
+                f, scalar, row_run, row_run / scalar, simd, simd / scalar);
+  }
+
+  std::FILE* fp = std::fopen(path, "w");
+  if (!fp) {
+    std::fprintf(stderr, "kernel guard: cannot open %s\n", path);
+    return false;
+  }
+  std::fprintf(fp,
+               "{\n"
+               "  \"bench\": \"micro_kernel\",\n"
+               "  \"n\": %d,\n"
+               "  \"simd_available\": %s,\n"
+               "  \"simd_compiled_level\": %d,\n"
+               "  \"required_speedup_at_eps_ge_4\": %.2f,\n"
+               "  \"min_best_speedup_at_eps_ge_4\": %.3f,\n"
+               "  \"pass\": %s,\n"
+               "  \"results\": [\n%s\n  ]\n"
+               "}\n",
+               n, nl::kernel_simd_available() ? "true" : "false",
+               nl::kernel_simd_compiled_level(), required_speedup,
+               min_best_speedup_ge4, pass ? "true" : "false", rows.c_str());
+  std::fclose(fp);
+  std::printf("  guard %s -> %s\n", pass ? "PASS" : "FAIL", path);
+  return pass;
+}
+
+}  // namespace
+
+/// Custom main (this target links plain benchmark::benchmark, not
+/// benchmark_main): the usual google-benchmark run, then the guard pass.
+/// The guard is skipped when a --benchmark_filter excludes the backend
+/// comparison, so filtered runs of unrelated benchmarks keep their exit
+/// code and don't pay the measurement pass.
+int main(int argc, char** argv) {
+  bool guard_wanted = true;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    const std::string prefix = "--benchmark_filter=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const std::string filter = arg.substr(prefix.size());
+      guard_wanted = filter.empty() || filter == "all" || filter == ".*" ||
+                     filter.find("KernelBackends") != std::string::npos;
+    }
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!guard_wanted) return 0;
+  const char* path = std::getenv("NLH_BENCH_KERNEL_JSON");
+  return run_kernel_guard(path ? path : "BENCH_kernel.json") ? 0 : 1;
+}

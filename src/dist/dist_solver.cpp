@@ -1,3 +1,10 @@
+///
+/// \file dist_solver.cpp
+/// \brief Implementation of the asynchronous distributed solver: futurized
+/// ghost exchange, case-1/case-2 compute tasks (through the compiled kernel
+/// plan), SD migration and checkpoint/restore.
+///
+
 #include "dist/dist_solver.hpp"
 
 #include <algorithm>
@@ -72,8 +79,10 @@ void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_n
   auto& blk = *blocks_[static_cast<std::size_t>(sd)];
   auto& lu = lu_[static_cast<std::size_t>(sd)];
 
+  // The per-SD blocks and the problem's source term share one compiled
+  // plan (problem_ owns it), applied through the process-wide backend.
   nonlocal::apply_nonlocal_operator_raw(blk.u().data(), lu.data(), blk.stride(),
-                                        blk.ghost(), stencil_, c_, rect);
+                                        blk.ghost(), problem_.kernel_plan(), c_, rect);
 
   // The manufactured source over the matching global rectangle. Rects of
   // concurrent tasks are disjoint, so the shared scratch is race-free.

@@ -18,7 +18,9 @@
 /// The solver reproduces the serial reference bitwise for every
 /// decomposition, ownership and thread count: every DP update reads the
 /// same double values through the same stencil entry order, whether its
-/// inputs arrived by collar copy or by message.
+/// inputs arrived by collar copy or by message. Both solvers route the
+/// update through the same compiled stencil_plan and the process-wide
+/// kernel backend (docs/kernels.md), so the property holds per backend.
 ///
 
 #include <atomic>

@@ -1,3 +1,9 @@
+///
+/// \file domain_mask.cpp
+/// \brief Mask constructors (predicate, L-shape, disk, crack) and the
+/// active-SD queries used by the case split and the masked dual graph.
+///
+
 #include "dist/domain_mask.hpp"
 
 #include <algorithm>

@@ -1,3 +1,9 @@
+///
+/// \file ownership.cpp
+/// \brief ownership_map construction and the derived views (per-node SD
+/// lists, counts, node adjacency, SP-boundary membership) Algorithm 1 reads.
+///
+
 #include "dist/ownership.hpp"
 
 #include <algorithm>

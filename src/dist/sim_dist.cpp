@@ -1,3 +1,9 @@
+///
+/// \file sim_dist.cpp
+/// \brief Builds the per-step task DAG of a tiling + ownership (interior,
+/// pack, unpack-join and boundary tasks) and replays it on sim::cluster_sim.
+///
+
 #include "dist/sim_dist.hpp"
 
 #include <string>

@@ -1,3 +1,9 @@
+///
+/// \file tiling.cpp
+/// \brief SD geometry: neighbor enumeration, send/recv strip rectangles and
+/// the case-1/case-2 decomposition (compute_case_split).
+///
+
 #include "dist/tiling.hpp"
 
 namespace nlh::dist {

@@ -1,0 +1,65 @@
+///
+/// \file apply.cpp
+/// \brief Scalar (entry-list) and row-run implementations of the nonlocal
+/// operator inner loop. The explicit-SIMD variant lives in apply_simd.cpp so
+/// it alone is compiled with the vector instruction flags.
+///
+
+#include "nonlocal/kernel/kernel_detail.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "nonlocal/nonlocal_operator.hpp"
+
+namespace nlh::nonlocal::kernel_detail {
+
+void apply_scalar(const double* u, double* out, int stride, int ghost,
+                  const stencil_plan& plan, double c, const dp_rect& rect) {
+  const auto& entries = plan.entries();
+  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    for (int j = rect.col_begin; j < rect.col_end; ++j) {
+      const double ui = urow[j];
+      double acc = 0.0;
+      for (const auto& e : entries)
+        acc += e.w * (urow[static_cast<std::ptrdiff_t>(e.di) * stride + j + e.dj] - ui);
+      orow[j] = c * acc;
+    }
+  }
+}
+
+void apply_row_run(const double* u, double* out, int stride, int ghost,
+                   const stencil_plan& plan, double c, const dp_rect& rect) {
+  // Tile the output row so the accumulator stays cache- (and, once the
+  // compiler vectorizes the unit-stride k loop, register-) resident while
+  // the whole stencil streams over it.
+  constexpr int tile = 128;
+  const double wsum = plan.weight_sum();
+  const double* weights = plan.weights().data();
+  double acc[tile];
+
+  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    for (int jb = rect.col_begin; jb < rect.col_end; jb += tile) {
+      const int len = std::min(tile, rect.col_end - jb);
+      for (int k = 0; k < len; ++k) acc[k] = 0.0;
+      for (const auto& r : plan.runs()) {
+        const double* srow =
+            urow + static_cast<std::ptrdiff_t>(r.di) * stride + r.dj_begin + jb;
+        const double* w = weights + r.weight_index;
+        for (int e = 0; e < r.length; ++e) {
+          const double we = w[e];
+          const double* s = srow + e;
+          for (int k = 0; k < len; ++k) acc[k] += we * s[k];
+        }
+      }
+      for (int k = 0; k < len; ++k)
+        orow[jb + k] = c * (acc[k] - wsum * urow[jb + k]);
+    }
+  }
+}
+
+}  // namespace nlh::nonlocal::kernel_detail

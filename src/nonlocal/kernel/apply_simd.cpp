@@ -1,0 +1,195 @@
+///
+/// \file apply_simd.cpp
+/// \brief Explicit-SIMD nonlocal kernel: AVX2+FMA when this TU is compiled
+/// with the vector flags (CMake adds -mavx2 -mfma here and nowhere else),
+/// SSE2 on the plain x86-64 baseline, row_run forwarding elsewhere.
+///
+/// Only this translation unit may contain AVX2 instructions; dispatch calls
+/// apply_simd solely after kernel_simd_available() confirms the running CPU
+/// supports what was compiled in.
+///
+
+#include <cstddef>
+
+#include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/kernel/kernel_detail.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define NLH_SIMD_LEVEL 2
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64)
+#define NLH_SIMD_LEVEL 1
+#include <emmintrin.h>
+#else
+#define NLH_SIMD_LEVEL 0
+#endif
+
+namespace nlh::nonlocal {
+
+int kernel_simd_compiled_level() { return NLH_SIMD_LEVEL; }
+
+}  // namespace nlh::nonlocal
+
+namespace nlh::nonlocal::kernel_detail {
+
+#if NLH_SIMD_LEVEL == 2
+
+namespace {
+
+/// Tail columns, one at a time, with *scalar FMA intrinsics* mirroring the
+/// vector body's fmadd/fnmadd/mul sequence exactly. A DP's bits must not
+/// depend on whether it fell in the 16-wide body or the tail — serial rows
+/// and narrow SD rects slice the same DP into different positions, and the
+/// per-backend bitwise serial/distributed guarantee (docs/kernels.md) hinges
+/// on the rounding being identical either way. A plain C++ tail would only
+/// match when the compiler happens to contract mul+add into FMAs.
+inline void run_formula_tail(const double* urow, double* orow, int stride,
+                             const stencil_plan& plan, double c, double wsum,
+                             int j_begin, int j_end) {
+  const double* weights = plan.weights().data();
+  for (int j = j_begin; j < j_end; ++j) {
+    __m128d acc = _mm_setzero_pd();
+    for (const auto& r : plan.runs()) {
+      const double* s = urow + static_cast<std::ptrdiff_t>(r.di) * stride +
+                        r.dj_begin + j;
+      const double* w = weights + r.weight_index;
+      for (int e = 0; e < r.length; ++e)
+        acc = _mm_fmadd_sd(_mm_load_sd(w + e), _mm_load_sd(s + e), acc);
+    }
+    acc = _mm_fnmadd_sd(_mm_set_sd(wsum), _mm_load_sd(urow + j), acc);
+    _mm_store_sd(orow + j, _mm_mul_sd(_mm_set_sd(c), acc));
+  }
+}
+
+}  // namespace
+
+#elif NLH_SIMD_LEVEL == 1
+
+namespace {
+
+/// SSE2 tail: plain mul+add, bitwise identical to the vector body's
+/// mul_pd/add_pd lanes on the baseline target (no FMA exists to contract
+/// into, so the rounding sequence is the same by construction).
+inline void run_formula_tail(const double* urow, double* orow, int stride,
+                             const stencil_plan& plan, double c, double wsum,
+                             int j_begin, int j_end) {
+  const double* weights = plan.weights().data();
+  for (int j = j_begin; j < j_end; ++j) {
+    double acc = 0.0;
+    for (const auto& r : plan.runs()) {
+      const double* s = urow + static_cast<std::ptrdiff_t>(r.di) * stride +
+                        r.dj_begin + j;
+      const double* w = weights + r.weight_index;
+      for (int e = 0; e < r.length; ++e) acc += w[e] * s[e];
+    }
+    orow[j] = c * (acc - wsum * urow[j]);
+  }
+}
+
+}  // namespace
+
+#endif
+
+#if NLH_SIMD_LEVEL == 2
+
+void apply_simd(const double* u, double* out, int stride, int ghost,
+                const stencil_plan& plan, double c, const dp_rect& rect) {
+  // 16 doubles per iteration: four ymm accumulators stay in registers for
+  // the entire stencil sweep, so the only streaming traffic is the loads.
+  const double wsum = plan.weight_sum();
+  const double* weights = plan.weights().data();
+  const __m256d vc = _mm256_set1_pd(c);
+  const __m256d vwsum = _mm256_set1_pd(wsum);
+
+  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    int j = rect.col_begin;
+    for (; j + 16 <= rect.col_end; j += 16) {
+      __m256d a0 = _mm256_setzero_pd();
+      __m256d a1 = _mm256_setzero_pd();
+      __m256d a2 = _mm256_setzero_pd();
+      __m256d a3 = _mm256_setzero_pd();
+      for (const auto& r : plan.runs()) {
+        const double* srow = urow + static_cast<std::ptrdiff_t>(r.di) * stride +
+                             r.dj_begin + j;
+        const double* w = weights + r.weight_index;
+        for (int e = 0; e < r.length; ++e) {
+          const __m256d we = _mm256_set1_pd(w[e]);
+          const double* s = srow + e;
+          a0 = _mm256_fmadd_pd(we, _mm256_loadu_pd(s), a0);
+          a1 = _mm256_fmadd_pd(we, _mm256_loadu_pd(s + 4), a1);
+          a2 = _mm256_fmadd_pd(we, _mm256_loadu_pd(s + 8), a2);
+          a3 = _mm256_fmadd_pd(we, _mm256_loadu_pd(s + 12), a3);
+        }
+      }
+      // out = c * (acc - wsum * u_center)
+      a0 = _mm256_fnmadd_pd(vwsum, _mm256_loadu_pd(urow + j), a0);
+      a1 = _mm256_fnmadd_pd(vwsum, _mm256_loadu_pd(urow + j + 4), a1);
+      a2 = _mm256_fnmadd_pd(vwsum, _mm256_loadu_pd(urow + j + 8), a2);
+      a3 = _mm256_fnmadd_pd(vwsum, _mm256_loadu_pd(urow + j + 12), a3);
+      _mm256_storeu_pd(orow + j, _mm256_mul_pd(vc, a0));
+      _mm256_storeu_pd(orow + j + 4, _mm256_mul_pd(vc, a1));
+      _mm256_storeu_pd(orow + j + 8, _mm256_mul_pd(vc, a2));
+      _mm256_storeu_pd(orow + j + 12, _mm256_mul_pd(vc, a3));
+    }
+    run_formula_tail(urow, orow, stride, plan, c, wsum, j, rect.col_end);
+  }
+}
+
+#elif NLH_SIMD_LEVEL == 1
+
+void apply_simd(const double* u, double* out, int stride, int ghost,
+                const stencil_plan& plan, double c, const dp_rect& rect) {
+  // SSE2: 8 doubles per iteration in four xmm accumulators (no FMA).
+  const double wsum = plan.weight_sum();
+  const double* weights = plan.weights().data();
+  const __m128d vc = _mm_set1_pd(c);
+  const __m128d vwsum = _mm_set1_pd(wsum);
+
+  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    int j = rect.col_begin;
+    for (; j + 8 <= rect.col_end; j += 8) {
+      __m128d a0 = _mm_setzero_pd();
+      __m128d a1 = _mm_setzero_pd();
+      __m128d a2 = _mm_setzero_pd();
+      __m128d a3 = _mm_setzero_pd();
+      for (const auto& r : plan.runs()) {
+        const double* srow = urow + static_cast<std::ptrdiff_t>(r.di) * stride +
+                             r.dj_begin + j;
+        const double* w = weights + r.weight_index;
+        for (int e = 0; e < r.length; ++e) {
+          const __m128d we = _mm_set1_pd(w[e]);
+          const double* s = srow + e;
+          a0 = _mm_add_pd(a0, _mm_mul_pd(we, _mm_loadu_pd(s)));
+          a1 = _mm_add_pd(a1, _mm_mul_pd(we, _mm_loadu_pd(s + 2)));
+          a2 = _mm_add_pd(a2, _mm_mul_pd(we, _mm_loadu_pd(s + 4)));
+          a3 = _mm_add_pd(a3, _mm_mul_pd(we, _mm_loadu_pd(s + 6)));
+        }
+      }
+      a0 = _mm_sub_pd(a0, _mm_mul_pd(vwsum, _mm_loadu_pd(urow + j)));
+      a1 = _mm_sub_pd(a1, _mm_mul_pd(vwsum, _mm_loadu_pd(urow + j + 2)));
+      a2 = _mm_sub_pd(a2, _mm_mul_pd(vwsum, _mm_loadu_pd(urow + j + 4)));
+      a3 = _mm_sub_pd(a3, _mm_mul_pd(vwsum, _mm_loadu_pd(urow + j + 6)));
+      _mm_storeu_pd(orow + j, _mm_mul_pd(vc, a0));
+      _mm_storeu_pd(orow + j + 2, _mm_mul_pd(vc, a1));
+      _mm_storeu_pd(orow + j + 4, _mm_mul_pd(vc, a2));
+      _mm_storeu_pd(orow + j + 6, _mm_mul_pd(vc, a3));
+    }
+    run_formula_tail(urow, orow, stride, plan, c, wsum, j, rect.col_end);
+  }
+}
+
+#else
+
+void apply_simd(const double* u, double* out, int stride, int ghost,
+                const stencil_plan& plan, double c, const dp_rect& rect) {
+  apply_row_run(u, out, stride, ghost, plan, c, rect);
+}
+
+#endif
+
+}  // namespace nlh::nonlocal::kernel_detail

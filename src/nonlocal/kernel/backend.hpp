@@ -1,0 +1,57 @@
+#pragma once
+///
+/// \file backend.hpp
+/// \brief Kernel backend enum and process-wide backend selection for the
+/// nonlocal operator hot loop.
+///
+/// Three implementations sit behind the single apply_nonlocal_operator_raw
+/// entry point:
+///  - `scalar`  — the original entry-list gather loop (reference baseline);
+///  - `row_run` — unit-stride row-run loops the compiler auto-vectorizes;
+///  - `simd`    — explicit AVX2/SSE2 intrinsics (falls back to row_run when
+///                the binary or the CPU lacks the instructions).
+///
+/// The default is resolved once per process: the NLH_KERNEL_BACKEND
+/// environment variable wins, then the CMake-configured
+/// NLH_KERNEL_DEFAULT_BACKEND_NAME, then the best available backend.
+/// All solvers route through the default, so serial and distributed runs
+/// keep their bitwise-agreement property as long as they share a backend.
+///
+
+#include <optional>
+#include <string>
+
+namespace nlh::nonlocal {
+
+/// Selectable implementations of the nonlocal operator inner loop.
+enum class kernel_backend {
+  scalar,   ///< entry-list gather loop (the measured baseline)
+  row_run,  ///< compiled runs, auto-vectorizable unit-stride FMAs
+  simd,     ///< explicit AVX2/SSE2 path (row_run fallback if unavailable)
+};
+
+/// Lower-case backend name ("scalar", "row_run", "simd").
+const char* kernel_backend_name(kernel_backend b);
+
+/// Parse a backend name; nullopt on anything unrecognized.
+std::optional<kernel_backend> parse_kernel_backend(const std::string& name);
+
+/// True when the simd backend would actually run intrinsics: the simd
+/// translation unit was compiled with vector instructions AND (for AVX2)
+/// the running CPU supports them.
+bool kernel_simd_available();
+
+/// Instruction level baked into the simd translation unit:
+/// 0 = portable fallback, 1 = SSE2, 2 = AVX2+FMA.
+int kernel_simd_compiled_level();
+
+/// Process-wide default backend used by the entry points that do not take
+/// an explicit backend argument.
+kernel_backend kernel_default_backend();
+
+/// Override the process-wide default (e.g. from bench/test CLI). Requests
+/// for `simd` when it is unavailable are honored at dispatch time by the
+/// row_run fallback, so the setting is always safe.
+void set_kernel_default_backend(kernel_backend b);
+
+}  // namespace nlh::nonlocal

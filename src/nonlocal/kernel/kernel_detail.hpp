@@ -1,0 +1,37 @@
+#pragma once
+///
+/// \file kernel_detail.hpp
+/// \brief Internal per-backend kernel entry points; callers go through
+/// apply_nonlocal_operator_raw, which validates and dispatches.
+///
+/// Every implementation computes, for each DP (i, j) of `rect`,
+///   out = c * (sum_e w_e * u[neighbor_e] - weight_sum * u[i,j])
+/// over the plan's canonical entry order. scalar keeps the original
+/// per-entry `w * (u_nb - u_i)` form; row_run/simd hoist the center term
+/// via the weight sum, which changes rounding but not the entry order
+/// (agreement is ULP-level, asserted by kernel_test).
+///
+
+#include "nonlocal/kernel/stencil_plan.hpp"
+
+namespace nlh::nonlocal {
+struct dp_rect;
+}
+
+namespace nlh::nonlocal::kernel_detail {
+
+/// Entry-list gather loop — bitwise identical to the legacy stencil kernel.
+void apply_scalar(const double* u, double* out, int stride, int ghost,
+                  const stencil_plan& plan, double c, const dp_rect& rect);
+
+/// Unit-stride row-run loops; plain C++ the compiler auto-vectorizes.
+void apply_row_run(const double* u, double* out, int stride, int ghost,
+                   const stencil_plan& plan, double c, const dp_rect& rect);
+
+/// Explicit AVX2/SSE2 intrinsics (compiled in its own TU with the vector
+/// flags); the portable build of that TU forwards to apply_row_run. Callers
+/// must check kernel_simd_available() before selecting this on AVX2 builds.
+void apply_simd(const double* u, double* out, int stride, int ghost,
+                const stencil_plan& plan, double c, const dp_rect& rect);
+
+}  // namespace nlh::nonlocal::kernel_detail

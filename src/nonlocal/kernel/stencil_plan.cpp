@@ -1,0 +1,28 @@
+#include "nonlocal/kernel/stencil_plan.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace nlh::nonlocal {
+
+stencil_plan::stencil_plan(const stencil& st)
+    : entries_(st.entries()), weight_sum_(st.weight_sum()), reach_(st.reach()) {
+  NLH_ASSERT_MSG(
+      std::is_sorted(entries_.begin(), entries_.end(), stencil_entry_less),
+      "stencil_plan: stencil entries must be canonical row-major order");
+
+  weights_.reserve(entries_.size());
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    const auto& e = entries_[k];
+    if (!runs_.empty() && runs_.back().di == e.di &&
+        runs_.back().dj_begin + runs_.back().length == e.dj) {
+      ++runs_.back().length;
+    } else {
+      runs_.push_back(stencil_run{e.di, e.dj, 1, static_cast<int>(k)});
+    }
+    weights_.push_back(e.w);
+  }
+}
+
+}  // namespace nlh::nonlocal

@@ -1,0 +1,78 @@
+#pragma once
+///
+/// \file stencil_plan.hpp
+/// \brief Compiled, vectorization-friendly form of the epsilon-ball stencil:
+/// per-`di` contiguous `dj` runs with structure-of-arrays weights.
+///
+/// The raw stencil is a flat `(di, dj, w)` entry list; applying it per output
+/// DP gathers one strided value per entry, which defeats auto-vectorization.
+/// On a uniform grid the canonical (row-major) entry order makes every row of
+/// the epsilon ball a handful of maximal runs of *consecutive* `dj` — one run
+/// per `di` except the center row, which splits around the excluded (0,0)
+/// entry. Compiling the stencil into those runs once per problem turns the
+/// hot loop into unit-stride fused multiply-adds over contiguous row
+/// segments (see docs/kernels.md for the transformation and its FP
+/// consequences).
+///
+/// The plan is self-contained: it copies the canonical entry list (the
+/// scalar baseline walks it), so it never dangles on the source stencil.
+///
+
+#include <cstddef>
+#include <vector>
+
+#include "nonlocal/stencil.hpp"
+
+namespace nlh::nonlocal {
+
+/// One maximal run of stencil entries sharing row offset `di` whose column
+/// offsets are the consecutive range [dj_begin, dj_begin + length).
+struct stencil_run {
+  int di;            ///< row offset of every entry in the run
+  int dj_begin;      ///< first column offset
+  int length;        ///< number of consecutive entries
+  int weight_index;  ///< offset of the run's first weight in weights()
+};
+
+class stencil_plan {
+ public:
+  /// Compile `st` (whose entries are canonical row-major order) into runs.
+  explicit stencil_plan(const stencil& st);
+
+  /// Maximal consecutive-`dj` runs, ordered row-major by (di, dj_begin).
+  const std::vector<stencil_run>& runs() const { return runs_; }
+
+  /// Flat per-entry weights in canonical entry order; a run's weights are
+  /// the contiguous slice [weight_index, weight_index + length).
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Canonical entry list (row-major by di, then dj) — the scalar baseline
+  /// backend iterates this exactly like the original entry-list kernel.
+  const std::vector<stencil_entry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Sum of weights; identical to stencil::weight_sum(), so
+  /// stable_dt(c, plan) == stable_dt(c, stencil).
+  double weight_sum() const { return weight_sum_; }
+
+  /// Maximum |di| / |dj| over entries — the ghost width actually needed.
+  int reach() const { return reach_; }
+
+ private:
+  std::vector<stencil_entry> entries_;
+  std::vector<stencil_run> runs_;
+  std::vector<double> weights_;
+  double weight_sum_ = 0.0;
+  int reach_ = 0;
+};
+
+/// Largest stable forward-Euler timestep for scaling constant c (same bound
+/// as the stencil overload; the plan preserves weight_sum exactly).
+inline double stable_dt(double c, const stencil_plan& plan) {
+  const double denom = c * plan.weight_sum();
+  NLH_ASSERT(denom > 0.0);
+  return 1.0 / denom;
+}
+
+}  // namespace nlh::nonlocal

@@ -1,5 +1,6 @@
 #include "nonlocal/nonlocal_operator.hpp"
 
+#include "nonlocal/kernel/kernel_detail.hpp"
 #include "support/assert.hpp"
 
 namespace nlh::nonlocal {
@@ -22,6 +23,35 @@ void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int g
   }
 }
 
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil_plan& plan, double c,
+                                 const dp_rect& rect, kernel_backend backend) {
+  if (rect.empty()) return;
+  NLH_ASSERT(plan.reach() <= ghost);
+  switch (backend) {
+    case kernel_backend::scalar:
+      kernel_detail::apply_scalar(u, out, stride, ghost, plan, c, rect);
+      return;
+    case kernel_backend::row_run:
+      kernel_detail::apply_row_run(u, out, stride, ghost, plan, c, rect);
+      return;
+    case kernel_backend::simd:
+      if (kernel_simd_available())
+        kernel_detail::apply_simd(u, out, stride, ghost, plan, c, rect);
+      else
+        kernel_detail::apply_row_run(u, out, stride, ghost, plan, c, rect);
+      return;
+  }
+  NLH_ASSERT_MSG(false, "apply_nonlocal_operator_raw: unknown backend");
+}
+
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil_plan& plan, double c,
+                                 const dp_rect& rect) {
+  apply_nonlocal_operator_raw(u, out, stride, ghost, plan, c, rect,
+                              kernel_default_backend());
+}
+
 void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,
                              const std::vector<double>& u, std::vector<double>& out,
                              const dp_rect& rect) {
@@ -30,6 +60,16 @@ void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,
   NLH_ASSERT(rect.col_begin >= 0 && rect.col_end <= grid.n());
   apply_nonlocal_operator_raw(u.data(), out.data(), grid.stride(), grid.ghost(), st, c,
                               rect);
+}
+
+void apply_nonlocal_operator(const grid2d& grid, const stencil_plan& plan, double c,
+                             const std::vector<double>& u, std::vector<double>& out,
+                             const dp_rect& rect) {
+  NLH_ASSERT(u.size() == grid.total() && out.size() == grid.total());
+  NLH_ASSERT(rect.row_begin >= 0 && rect.row_end <= grid.n());
+  NLH_ASSERT(rect.col_begin >= 0 && rect.col_end <= grid.n());
+  apply_nonlocal_operator_raw(u.data(), out.data(), grid.stride(), grid.ghost(), plan,
+                              c, rect);
 }
 
 }  // namespace nlh::nonlocal

@@ -13,6 +13,8 @@
 
 #include <vector>
 
+#include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::nonlocal {
@@ -41,7 +43,29 @@ void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,
 /// Generic padded-array version used by the per-SD blocks of the
 /// distributed solver: `stride` is the padded row length, `ghost` the
 /// collar width, rect indexes the unpadded interior.
+///
+/// This overload is the legacy entry-list reference: it always runs the
+/// scalar loop over st.entries() regardless of the selected backend. Hot
+/// paths should compile the stencil into a stencil_plan once per problem
+/// and call the plan overloads below.
 void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
                                  const stencil& st, double c, const dp_rect& rect);
+
+/// Single kernel entry point: apply the compiled plan over `rect` with an
+/// explicit backend. `simd` silently degrades to `row_run` when the binary
+/// or the CPU lacks the vector instructions (see kernel_simd_available()).
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil_plan& plan, double c,
+                                 const dp_rect& rect, kernel_backend backend);
+
+/// Same, using the process-wide default backend (kernel_default_backend()).
+void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
+                                 const stencil_plan& plan, double c,
+                                 const dp_rect& rect);
+
+/// Padded-field wrapper over the plan entry point (default backend).
+void apply_nonlocal_operator(const grid2d& grid, const stencil_plan& plan, double c,
+                             const std::vector<double>& u, std::vector<double>& out,
+                             const dp_rect& rect);
 
 }  // namespace nlh::nonlocal

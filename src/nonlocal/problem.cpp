@@ -36,7 +36,7 @@ void manufactured_problem::source_into(double t, const std::vector<double>& w_fi
   NLH_ASSERT(w_field.size() == grid_->total());
   NLH_ASSERT(out.size() == grid_->total());
   // out <- L_h[w] over rect, then b = dw/dt - out.
-  apply_nonlocal_operator(*grid_, *stencil_, c_, w_field, out, rect);
+  apply_nonlocal_operator(*grid_, plan_, c_, w_field, out, rect);
   for (int i = rect.row_begin; i < rect.row_end; ++i)
     for (int j = rect.col_begin; j < rect.col_end; ++j) {
       const auto idx = grid_->flat(i, j);

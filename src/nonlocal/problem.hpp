@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nonlocal/grid2d.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/nonlocal_operator.hpp"
 #include "nonlocal/stencil.hpp"
 
@@ -21,8 +22,10 @@ namespace nlh::nonlocal {
 
 class manufactured_problem {
  public:
+  /// Compiles `st` into a kernel plan once, so every source evaluation
+  /// reuses it (L_h[w] is half the work of a DP update).
   manufactured_problem(const grid2d& grid, const stencil& st, double c)
-      : grid_(&grid), stencil_(&st), c_(c) {}
+      : grid_(&grid), plan_(st), c_(c) {}
 
   /// Exact solution w(t, x); zero outside D (the collar).
   static double w(double t, double x1, double x2);
@@ -48,9 +51,13 @@ class manufactured_problem {
   const grid2d& grid() const { return *grid_; }
   double scaling_constant() const { return c_; }
 
+  /// The compiled kernel plan. The solvers apply L_h through this same
+  /// object, so the stencil is compiled exactly once per problem.
+  const stencil_plan& kernel_plan() const { return plan_; }
+
  private:
   const grid2d* grid_;
-  const stencil* stencil_;
+  stencil_plan plan_;
   double c_;
 };
 

@@ -43,7 +43,7 @@ void serial_solver::eval_rhs(double t, const std::vector<double>& u,
   problem_.source_into(t, w_scratch_, b_scratch_, all);
 
   // out = L_h u + b.
-  apply_nonlocal_operator(grid_, stencil_, c_, u, out, all);
+  apply_nonlocal_operator(grid_, problem_.kernel_plan(), c_, u, out, all);
   for (int i = 0; i < grid_.n(); ++i)
     for (int j = 0; j < grid_.n(); ++j) {
       const auto idx = grid_.flat(i, j);

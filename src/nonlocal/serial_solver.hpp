@@ -15,6 +15,7 @@
 #include "nonlocal/error.hpp"
 #include "nonlocal/grid2d.hpp"
 #include "nonlocal/influence.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/problem.hpp"
 #include "nonlocal/stencil.hpp"
 
@@ -55,6 +56,7 @@ class serial_solver {
 
   const grid2d& grid() const { return grid_; }
   const stencil& interaction_stencil() const { return stencil_; }
+  const stencil_plan& kernel_plan() const { return problem_.kernel_plan(); }
   double scaling_constant() const { return c_; }
   double dt() const { return dt_; }
   const manufactured_problem& problem() const { return problem_; }

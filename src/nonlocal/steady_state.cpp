@@ -23,7 +23,7 @@ double dot_interior(const grid2d& g, const std::vector<double>& a,
 
 }  // namespace
 
-cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
+cg_result solve_steady_state(const grid2d& grid, const stencil_plan& plan, double c,
                              const std::vector<double>& b, std::vector<double>& u,
                              const cg_options& opt) {
   NLH_ASSERT(b.size() == grid.total());
@@ -32,7 +32,7 @@ cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
 
   // A x := -L_h x (SPD). Residual r = b - A u = b + L_h u.
   auto apply_A = [&](const std::vector<double>& x, std::vector<double>& out) {
-    apply_nonlocal_operator(grid, st, c, x, out, all);
+    apply_nonlocal_operator(grid, plan, c, x, out, all);
     for (int i = 0; i < grid.n(); ++i)
       for (int j = 0; j < grid.n(); ++j) {
         const auto idx = grid.flat(i, j);
@@ -88,7 +88,7 @@ cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
   return res;
 }
 
-cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
+cg_result implicit_euler_step(const grid2d& grid, const stencil_plan& plan, double c,
                               double dt, const std::vector<double>& b_next,
                               std::vector<double>& u, const cg_options& opt) {
   NLH_ASSERT(dt > 0.0);
@@ -98,7 +98,7 @@ cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
 
   // A x := (I - dt L_h) x — SPD for any dt (I plus dt times the SPD -L_h).
   auto apply_A = [&](const std::vector<double>& x, std::vector<double>& out) {
-    apply_nonlocal_operator(grid, st, c, x, out, all);
+    apply_nonlocal_operator(grid, plan, c, x, out, all);
     for (int i = 0; i < grid.n(); ++i)
       for (int j = 0; j < grid.n(); ++j) {
         const auto idx = grid.flat(i, j);
@@ -163,7 +163,7 @@ cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
 }
 
 std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
-    const grid2d& grid, const stencil& st, double c) {
+    const grid2d& grid, const stencil_plan& plan, double c) {
   constexpr double two_pi = 2.0 * 3.14159265358979323846;
   auto ustar = grid.make_field();
   for (int i = 0; i < grid.n(); ++i)
@@ -172,13 +172,32 @@ std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
           std::sin(two_pi * grid.x(j)) * std::sin(two_pi * grid.y(i));
 
   auto b = grid.make_field();
-  apply_nonlocal_operator(grid, st, c, ustar, b, {0, grid.n(), 0, grid.n()});
+  apply_nonlocal_operator(grid, plan, c, ustar, b, {0, grid.n(), 0, grid.n()});
   for (int i = 0; i < grid.n(); ++i)
     for (int j = 0; j < grid.n(); ++j) {
       const auto idx = grid.flat(i, j);
       b[idx] = -b[idx];
     }
   return {std::move(b), std::move(ustar)};
+}
+
+// Stencil overloads: compile the plan once per call, then run the plan path.
+
+cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
+                             const std::vector<double>& b, std::vector<double>& u,
+                             const cg_options& opt) {
+  return solve_steady_state(grid, stencil_plan(st), c, b, u, opt);
+}
+
+cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
+                              double dt, const std::vector<double>& b_next,
+                              std::vector<double>& u, const cg_options& opt) {
+  return implicit_euler_step(grid, stencil_plan(st), c, dt, b_next, u, opt);
+}
+
+std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
+    const grid2d& grid, const stencil& st, double c) {
+  return manufactured_steady_problem(grid, stencil_plan(st), c);
 }
 
 }  // namespace nlh::nonlocal

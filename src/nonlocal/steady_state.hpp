@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nonlocal/grid2d.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::nonlocal {
@@ -32,6 +33,13 @@ struct cg_options {
 
 /// Solve -L_h u = b for u (padded fields; interior entries of b used,
 /// interior of u written, collar kept at 0). Returns convergence info.
+/// Every CG iteration applies the compiled `plan` through the selected
+/// kernel backend.
+cg_result solve_steady_state(const grid2d& grid, const stencil_plan& plan, double c,
+                             const std::vector<double>& b, std::vector<double>& u,
+                             const cg_options& opt = {});
+
+/// Convenience overload: compiles `st` into a plan once, then solves.
 cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
                              const std::vector<double>& b, std::vector<double>& u,
                              const cg_options& opt = {});
@@ -39,12 +47,19 @@ cg_result solve_steady_state(const grid2d& grid, const stencil& st, double c,
 /// Manufactured steady problem: u*(x) = sin(2 pi x1) sin(2 pi x2),
 /// b = -L_h u* computed discretely; returns (b, u*) as padded fields.
 std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
+    const grid2d& grid, const stencil_plan& plan, double c);
+std::pair<std::vector<double>, std::vector<double>> manufactured_steady_problem(
     const grid2d& grid, const stencil& st, double c);
 
 /// One backward-Euler step: solve (I - dt L_h) u^{k+1} = u^k + dt b^{k+1}
 /// by CG. Unconditionally stable — dt may exceed the explicit bound
 /// 1/(c * weight_sum) by orders of magnitude. `u` holds u^k on entry and
 /// u^{k+1} on exit; `b_next` is the source at t_{k+1} (padded field).
+/// Callers stepping repeatedly should build the plan once and use this
+/// overload; the stencil overload below recompiles per call.
+cg_result implicit_euler_step(const grid2d& grid, const stencil_plan& plan, double c,
+                              double dt, const std::vector<double>& b_next,
+                              std::vector<double>& u, const cg_options& opt = {});
 cg_result implicit_euler_step(const grid2d& grid, const stencil& st, double c,
                               double dt, const std::vector<double>& b_next,
                               std::vector<double>& u, const cg_options& opt = {});

@@ -22,6 +22,11 @@ stencil::stencil(const grid2d& grid, const influence& J) {
     }
   }
   NLH_ASSERT_MSG(!entries_.empty(), "stencil: horizon smaller than grid spacing");
+  // Canonicalize: row-major by (di, dj). The build loop already emits this
+  // order, but the sort makes it a constructor guarantee, so run compilation
+  // (stencil_plan) and cross-backend tests are deterministic even if the
+  // enumeration above ever changes.
+  std::sort(entries_.begin(), entries_.end(), stencil_entry_less);
 }
 
 }  // namespace nlh::nonlocal

@@ -23,11 +23,20 @@ struct stencil_entry {
   double w;   ///< J(|dx|/eps) * cell volume
 };
 
+/// The canonical entry order: row-major by (di, dj). Single definition for
+/// the constructor sort, the plan-compilation precondition and the tests.
+inline bool stencil_entry_less(const stencil_entry& a, const stencil_entry& b) {
+  return a.di != b.di ? a.di < b.di : a.dj < b.dj;
+}
+
 class stencil {
  public:
   /// Build the offset list for `grid` with influence `J`.
   stencil(const grid2d& grid, const influence& J);
 
+  /// Entries in canonical row-major order (by di, then dj) — sorted at
+  /// construction, so run compilation (kernel/stencil_plan.hpp) and
+  /// cross-backend comparisons are deterministic.
   const std::vector<stencil_entry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
 

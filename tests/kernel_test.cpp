@@ -1,0 +1,368 @@
+// Tests for the vectorized kernel subsystem (src/nonlocal/kernel/): stencil
+// canonicalization, run compilation invariants, and bitwise/ULP agreement of
+// the scalar / row_run / simd backends across horizon factors, non-square
+// rects and rects touching the ghost border.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nonlocal/grid2d.hpp"
+#include "nonlocal/influence.hpp"
+#include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
+#include "nonlocal/nonlocal_operator.hpp"
+#include "nonlocal/serial_solver.hpp"
+#include "nonlocal/steady_state.hpp"
+#include "support/rng.hpp"
+
+namespace nl = nlh::nonlocal;
+
+namespace {
+
+/// Deterministic pseudo-random field over the whole padded box, collar
+/// included, so boundary-touching rects read non-trivial ghost values.
+std::vector<double> random_field(const nl::grid2d& g, unsigned seed) {
+  auto u = g.make_field();
+  nlh::support::rng r(seed);
+  for (auto& v : u) v = r.uniform(-1.0, 1.0);
+  return u;
+}
+
+/// Apply via the raw plan entry point with an explicit backend.
+std::vector<double> apply_backend(const nl::grid2d& g, const nl::stencil_plan& plan,
+                                  double c, const std::vector<double>& u,
+                                  const nl::dp_rect& rect, nl::kernel_backend b) {
+  auto out = g.make_field();
+  nl::apply_nonlocal_operator_raw(u.data(), out.data(), g.stride(), g.ghost(), plan, c,
+                                  rect, b);
+  return out;
+}
+
+/// Absolute tolerance for cross-backend comparison: the backends sum the
+/// same entries in the same order but with different association of the
+/// center term (and FMA on the simd path), so agreement is a few ULPs of
+/// the natural magnitude scale c * weight_sum * max|u|, not bitwise.
+double agreement_tol(const nl::stencil_plan& plan, double c, double umax) {
+  return 1e-12 * c * plan.weight_sum() * umax;
+}
+
+void expect_rect_near(const nl::grid2d& g, const std::vector<double>& a,
+                      const std::vector<double>& b, const nl::dp_rect& rect,
+                      double tol) {
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j)
+      ASSERT_NEAR(a[g.flat(i, j)], b[g.flat(i, j)], tol)
+          << "at (" << i << ", " << j << ")";
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- canonical ----
+
+TEST(Stencil, EntriesAreCanonicalRowMajor) {
+  for (const int f : {2, 3, 8}) {
+    nl::grid2d g(32, static_cast<double>(f) / 32);
+    nl::stencil st(g, nl::influence{});
+    const auto& e = st.entries();
+    ASSERT_FALSE(e.empty());
+    EXPECT_TRUE(std::is_sorted(e.begin(), e.end(), nl::stencil_entry_less));
+    // No duplicates and no center entry.
+    for (std::size_t k = 1; k < e.size(); ++k)
+      EXPECT_TRUE(e[k - 1].di != e[k].di || e[k - 1].dj != e[k].dj);
+    for (const auto& entry : e) EXPECT_TRUE(entry.di != 0 || entry.dj != 0);
+  }
+}
+
+// ------------------------------------------------------------ plan layout ----
+
+TEST(StencilPlan, RunsReconstructEntriesExactly) {
+  for (const int f : {2, 4, 8, 16}) {
+    nl::grid2d g(2 * f, static_cast<double>(f) / (2 * f));
+    nl::stencil st(g, nl::influence(nl::influence_kind::gaussian));
+    nl::stencil_plan plan(st);
+
+    ASSERT_EQ(plan.size(), st.size());
+    ASSERT_EQ(plan.weights().size(), st.size());
+
+    // Expand runs back into (di, dj, w) and compare against the stencil.
+    std::vector<nl::stencil_entry> rebuilt;
+    for (const auto& r : plan.runs()) {
+      ASSERT_GE(r.length, 1);
+      for (int e = 0; e < r.length; ++e)
+        rebuilt.push_back(nl::stencil_entry{
+            r.di, r.dj_begin + e,
+            plan.weights()[static_cast<std::size_t>(r.weight_index + e)]});
+    }
+    ASSERT_EQ(rebuilt.size(), st.entries().size());
+    for (std::size_t k = 0; k < rebuilt.size(); ++k) {
+      EXPECT_EQ(rebuilt[k].di, st.entries()[k].di);
+      EXPECT_EQ(rebuilt[k].dj, st.entries()[k].dj);
+      EXPECT_EQ(rebuilt[k].w, st.entries()[k].w);  // exact copy, not recompute
+    }
+  }
+}
+
+TEST(StencilPlan, RunsAreMaximal) {
+  // Adjacent runs must not be mergeable: a new run starts only on a di
+  // change or a dj gap (the center row splits around the excluded (0,0)).
+  nl::grid2d g(32, 4.0 / 32);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto& runs = plan.runs();
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    const bool same_di = runs[k - 1].di == runs[k].di;
+    if (same_di)
+      EXPECT_GT(runs[k].dj_begin, runs[k - 1].dj_begin + runs[k - 1].length);
+    else
+      EXPECT_LT(runs[k - 1].di, runs[k].di);
+  }
+  // One run per di row except di == 0, which has exactly two.
+  int center_runs = 0;
+  for (const auto& r : runs)
+    if (r.di == 0) ++center_runs;
+  EXPECT_EQ(center_runs, 2);
+}
+
+TEST(StencilPlan, PreservesWeightSumReachAndStableDt) {
+  nl::grid2d g(24, 3.0 / 24);
+  nl::stencil st(g, nl::influence(nl::influence_kind::linear));
+  nl::stencil_plan plan(st);
+  EXPECT_EQ(plan.weight_sum(), st.weight_sum());
+  EXPECT_EQ(plan.reach(), st.reach());
+  const double c = 7.5;
+  EXPECT_EQ(nl::stable_dt(c, plan), nl::stable_dt(c, st));
+}
+
+// ------------------------------------------------------- backend agreement ----
+
+TEST(KernelBackends, ScalarBackendIsBitwiseTheLegacyKernel) {
+  for (const int f : {2, 4, 8, 16}) {
+    const int n = 32;
+    nl::grid2d g(n, static_cast<double>(f) / n);
+    nl::stencil st(g, nl::influence{});
+    nl::stencil_plan plan(st);
+    const auto u = random_field(g, 1234 + static_cast<unsigned>(f));
+    const nl::dp_rect all{0, n, 0, n};
+
+    auto legacy = g.make_field();
+    nl::apply_nonlocal_operator(g, st, 2.5, u, legacy, all);
+    const auto scalar = apply_backend(g, plan, 2.5, u, all, nl::kernel_backend::scalar);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(legacy[g.flat(i, j)], scalar[g.flat(i, j)]);
+  }
+}
+
+TEST(KernelBackends, AgreeAcrossEpsilonFactors) {
+  for (const int f : {2, 4, 8, 16}) {
+    const int n = 48;
+    nl::grid2d g(n, static_cast<double>(f) / n);
+    nl::stencil st(g, nl::influence{});
+    nl::stencil_plan plan(st);
+    const auto u = random_field(g, 42 + static_cast<unsigned>(f));
+    const double c = 1.75;
+    const nl::dp_rect all{0, n, 0, n};
+    const double tol = agreement_tol(plan, c, 1.0);
+
+    const auto scalar = apply_backend(g, plan, c, u, all, nl::kernel_backend::scalar);
+    const auto row_run = apply_backend(g, plan, c, u, all, nl::kernel_backend::row_run);
+    const auto simd = apply_backend(g, plan, c, u, all, nl::kernel_backend::simd);
+    expect_rect_near(g, scalar, row_run, all, tol);
+    expect_rect_near(g, scalar, simd, all, tol);
+  }
+}
+
+TEST(KernelBackends, AgreeOnNonSquareRects) {
+  const int n = 40;
+  nl::grid2d g(n, 4.0 / n);
+  nl::stencil st(g, nl::influence(nl::influence_kind::gaussian));
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 7);
+  const double c = 3.0;
+  const double tol = agreement_tol(plan, c, 1.0);
+
+  // Wide, tall, thin strips and a single DP — including odd widths that
+  // exercise the SIMD remainder lanes.
+  const nl::dp_rect rects[] = {
+      {3, 7, 0, n}, {0, n, 5, 9}, {11, 12, 2, 37}, {4, 31, 17, 18}, {20, 21, 20, 21},
+  };
+  for (const auto& rect : rects) {
+    const auto scalar = apply_backend(g, plan, c, u, rect, nl::kernel_backend::scalar);
+    const auto row_run = apply_backend(g, plan, c, u, rect, nl::kernel_backend::row_run);
+    const auto simd = apply_backend(g, plan, c, u, rect, nl::kernel_backend::simd);
+    expect_rect_near(g, scalar, row_run, rect, tol);
+    expect_rect_near(g, scalar, simd, rect, tol);
+  }
+}
+
+TEST(KernelBackends, AgreeOnRectsTouchingGhostBorder) {
+  const int n = 36;
+  nl::grid2d g(n, 6.0 / n);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 99);  // collar holds non-zero ghost values
+  const double c = 0.8;
+  const double tol = agreement_tol(plan, c, 1.0);
+
+  // Every edge and corner of the interior, where the reads reach maximally
+  // into the ghost collar.
+  const nl::dp_rect rects[] = {
+      {0, 2, 0, n},          // top edge
+      {n - 2, n, 0, n},      // bottom edge
+      {0, n, 0, 2},          // left edge
+      {0, n, n - 2, n},      // right edge
+      {0, 3, 0, 3},          // top-left corner
+      {n - 3, n, n - 3, n},  // bottom-right corner
+  };
+  for (const auto& rect : rects) {
+    const auto scalar = apply_backend(g, plan, c, u, rect, nl::kernel_backend::scalar);
+    const auto row_run = apply_backend(g, plan, c, u, rect, nl::kernel_backend::row_run);
+    const auto simd = apply_backend(g, plan, c, u, rect, nl::kernel_backend::simd);
+    expect_rect_near(g, scalar, row_run, rect, tol);
+    expect_rect_near(g, scalar, simd, rect, tol);
+  }
+}
+
+TEST(KernelBackends, RectPartitionInvariantBitwise) {
+  // The bitwise serial/distributed guarantee (DESIGN.md) needs every
+  // backend to produce identical bits for a DP whether it was computed as
+  // part of a full-width row or of a narrow SD rectangle — i.e. regardless
+  // of where the DP falls relative to vector-body/tail boundaries.
+  const int n = 40;
+  nl::grid2d g(n, 4.0 / n);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 21);
+  const double c = 1.1;
+
+  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
+                       nl::kernel_backend::simd}) {
+    const auto full =
+        apply_backend(g, plan, c, u, {0, n, 0, n}, nl::kernel_backend(b));
+    // Vertical strips of width 5 force different body/tail splits, plus a
+    // horizontal split at an odd row.
+    auto split = g.make_field();
+    for (int cb = 0; cb < n; cb += 5) {
+      nl::apply_nonlocal_operator_raw(u.data(), split.data(), g.stride(), g.ghost(),
+                                      plan, c, {0, 13, cb, std::min(cb + 5, n)}, b);
+      nl::apply_nonlocal_operator_raw(u.data(), split.data(), g.stride(), g.ghost(),
+                                      plan, c, {13, n, cb, std::min(cb + 5, n)}, b);
+    }
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(full[g.flat(i, j)], split[g.flat(i, j)])
+            << nl::kernel_backend_name(b) << " at (" << i << ", " << j << ")";
+  }
+}
+
+TEST(KernelBackends, AllZeroOnConstantField) {
+  // sum w*(u_j - u_i) and sum w*u_j - W*u_i both vanish analytically on a
+  // constant field; numerically the hoisted form leaves only rounding noise.
+  const int n = 24;
+  nl::grid2d g(n, 4.0 / n);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  auto u = g.make_field();
+  for (auto& v : u) v = 3.7;
+  const nl::dp_rect all{0, n, 0, n};
+  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
+                       nl::kernel_backend::simd}) {
+    const auto out = apply_backend(g, plan, 5.0, u, all, b);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) ASSERT_NEAR(out[g.flat(i, j)], 0.0, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------- dispatch ----
+
+TEST(KernelDispatch, DefaultBackendEntryPointMatchesExplicit) {
+  const int n = 20;
+  nl::grid2d g(n, 2.0 / n);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 5);
+  const nl::dp_rect all{0, n, 0, n};
+
+  const auto saved = nl::kernel_default_backend();
+  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
+                       nl::kernel_backend::simd}) {
+    nl::set_kernel_default_backend(b);
+    EXPECT_EQ(nl::kernel_default_backend(), b);
+    auto via_default = g.make_field();
+    nl::apply_nonlocal_operator_raw(u.data(), via_default.data(), g.stride(),
+                                    g.ghost(), plan, 1.3, all);
+    const auto explicit_out = apply_backend(g, plan, 1.3, u, all, b);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(via_default[g.flat(i, j)], explicit_out[g.flat(i, j)]);
+  }
+  nl::set_kernel_default_backend(saved);
+}
+
+TEST(KernelDispatch, BackendNamesRoundTrip) {
+  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
+                       nl::kernel_backend::simd}) {
+    const auto parsed = nl::parse_kernel_backend(nl::kernel_backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(nl::parse_kernel_backend("avx512").has_value());
+  EXPECT_FALSE(nl::parse_kernel_backend("").has_value());
+}
+
+TEST(KernelDispatch, SimdAvailabilityIsConsistent) {
+  // Whatever the build/CPU, dispatch must execute: simd either runs
+  // intrinsics or falls back to row_run, never aborts.
+  const int level = nl::kernel_simd_compiled_level();
+  EXPECT_GE(level, 0);
+  EXPECT_LE(level, 2);
+  if (nl::kernel_simd_available()) EXPECT_GT(level, 0);
+
+  nl::grid2d g(8, 2.0 / 8);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 11);
+  const auto out =
+      apply_backend(g, plan, 1.0, u, {0, 8, 0, 8}, nl::kernel_backend::simd);
+  EXPECT_EQ(out.size(), g.total());
+}
+
+// ------------------------------------------------------- solver integration ----
+
+TEST(KernelSolvers, SerialSolverErrorIsBackendIndependent) {
+  // The measured discretization error must not depend on which backend
+  // evaluated the operator (beyond FP noise far below the error itself).
+  nl::solver_config cfg;
+  cfg.n = 24;
+  cfg.epsilon_factor = 3;
+  cfg.num_steps = 10;
+
+  const auto saved = nl::kernel_default_backend();
+  nl::set_kernel_default_backend(nl::kernel_backend::scalar);
+  const auto ref = nl::serial_solver(cfg).run();
+  for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd}) {
+    nl::set_kernel_default_backend(b);
+    const auto res = nl::serial_solver(cfg).run();
+    EXPECT_NEAR(res.total_error_e, ref.total_error_e,
+                1e-9 * std::abs(ref.total_error_e));
+    EXPECT_NEAR(res.final_ek, ref.final_ek, 1e-9 * std::abs(ref.final_ek));
+  }
+  nl::set_kernel_default_backend(saved);
+}
+
+TEST(KernelSolvers, SteadyStateConvergesThroughPlanOverload) {
+  nl::grid2d g(16, 2.0 / 16);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const double c = nl::influence{}.scaling_constant(2, 1.0, g.epsilon());
+  const auto [b, ustar] = nl::manufactured_steady_problem(g, plan, c);
+  auto u = g.make_field();
+  const auto res = nl::solve_steady_state(g, plan, c, b, u);
+  ASSERT_TRUE(res.converged);
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      EXPECT_NEAR(u[g.flat(i, j)], ustar[g.flat(i, j)], 1e-7);
+}
