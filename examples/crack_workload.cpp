@@ -2,18 +2,20 @@
 /// \file crack_workload.cpp
 /// \brief The paper's motivating scenario (§7): a crack line reduces the
 /// computational burden of the SDs it crosses; the busy-time-driven load
-/// balancer re-equalizes the nodes.
+/// balancer re-equalizes the nodes. The crack physics comes from the
+/// `nlh::api` crack scenario and the initial ownership from a facade
+/// session with the block-partition baseline — the deliberately naive
+/// starting point the balancer then repairs.
 ///
 /// Usage: crack_workload [--sd-grid 8] [--nodes 4] [--reduction 0.6]
 ///
 
 #include <iostream>
 
+#include "api/session.hpp"
 #include "balance/render.hpp"
 #include "balance/sim_driver.hpp"
 #include "model/capacity.hpp"
-#include "model/crack.hpp"
-#include "partition/partitioner.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
@@ -24,23 +26,34 @@ int main(int argc, char** argv) {
   const int nodes = cli.get_int("nodes", 4);
   const double reduction = cli.get_double("reduction", 0.6);
 
-  const nlh::dist::tiling t(sd_grid, sd_grid, 50, 8);
-  auto own = nlh::dist::ownership_map::from_partition(
-      t, nodes, nlh::partition::block_partition(sd_grid, sd_grid, nodes));
-
   // Horizontal crack through the lower half: the SDs it crosses (all owned
   // by the bottom-row nodes under a block partition) lose `reduction` of
   // their work, unbalancing the cluster.
-  const nlh::model::crack_line crack{0.02, 0.25, 0.98, 0.25};
+  const auto crack = std::make_shared<const nlh::api::crack_scenario>(
+      0.02, 0.25, 0.98, 0.25, reduction);
+
+  nlh::api::session_options opt;
+  opt.mode = nlh::api::execution_mode::distributed;
+  opt.custom_scenario = crack;
+  opt.sd_grid = sd_grid;
+  opt.n = sd_grid * 50;
+  opt.epsilon_factor = 8;
+  opt.nodes = nodes;
+  opt.partitioner = nlh::api::partition_strategy::block;
+  nlh::api::session session(opt);
+
+  const nlh::dist::tiling& t = session.sd_tiling();
+  auto own = session.ownership();
+
   nlh::balance::sim_balance_config cfg;
-  cfg.cost.sd_work_scale = nlh::model::crack_work_scale(t, crack, reduction);
+  cfg.cost.sd_work_scale = crack->sd_work(sd_grid, sd_grid);
   cfg.cluster.node_capacity = nlh::model::uniform_cluster(nodes, 1.0);
   cfg.max_iterations = 8;
   cfg.cov_tol = 0.03;
 
   std::cout << "Crack workload: " << sd_grid << "x" << sd_grid << " SDs on "
             << nodes << " symmetric nodes; cracked SDs do "
-            << (1.0 - reduction) * 100 << "% of normal work.\n\n";
+            << (1.0 - crack->work_reduction()) * 100 << "% of normal work.\n\n";
   std::cout << "Initial ownership (block partition):\n"
             << nlh::balance::render_ownership(t, own) << "\n";
 

@@ -2,8 +2,9 @@
 /// \file overlap_demo.cpp
 /// \brief Anatomy of the communication-hiding trick (paper §6.3, Fig. 5):
 /// shows the case-1/case-2 decomposition of each SD, runs the real
-/// asynchronous solver over two localities, and quantifies how much
-/// exchange time the overlap hides using the virtual-time twin.
+/// asynchronous solver over two localities through the `nlh::api` session
+/// facade, and quantifies how much exchange time the overlap hides using
+/// the virtual-time twin.
 ///
 /// Usage: overlap_demo [--sd-size 16] [--latency-us 50] [--trace out.json]
 /// With --trace, the virtual schedule is written as Chrome tracing JSON
@@ -13,7 +14,7 @@
 #include <fstream>
 #include <iostream>
 
-#include "dist/dist_solver.hpp"
+#include "api/session.hpp"
 #include "dist/sim_dist.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -25,12 +26,23 @@ int main(int argc, char** argv) {
 
   const int sd_grid = 2;
   const int ghost = 2;
-  const nlh::dist::tiling t(sd_grid, sd_grid, sd_size, ghost);
-  const nlh::dist::ownership_map own(t, 2, {0, 1, 0, 1});  // two columns
 
-  std::cout << "2x2 SDs of " << sd_size << "x" << sd_size
-            << " DPs, ghost width " << ghost
-            << ", left column on locality 0, right on locality 1.\n\n";
+  nlh::api::session_options opt;
+  opt.mode = nlh::api::execution_mode::distributed;
+  opt.scenario = "manufactured";
+  opt.sd_grid = sd_grid;
+  opt.n = sd_grid * sd_size;
+  opt.epsilon_factor = ghost;
+  opt.nodes = 2;
+  opt.num_steps = 5;
+  nlh::api::session session(opt);
+
+  const nlh::dist::tiling& t = session.sd_tiling();
+  const nlh::dist::ownership_map& own = session.ownership();
+
+  std::cout << sd_grid << "x" << sd_grid << " SDs of " << sd_size << "x"
+            << sd_size << " DPs, ghost width " << ghost
+            << "; the session's partitioner split the SDs over 2 localities.\n\n";
 
   // --- Case-1 / case-2 decomposition ------------------------------------
   nlh::support::table split_tab(
@@ -49,17 +61,13 @@ int main(int argc, char** argv) {
                "messages are in flight;\ncase-1 strips wait for all remote "
                "ghosts of their SD.\n\n";
 
-  // --- Real asynchronous run -------------------------------------------
-  nlh::dist::dist_config cfg;
-  cfg.sd_rows = cfg.sd_cols = sd_grid;
-  cfg.sd_size = sd_size;
-  cfg.epsilon_factor = ghost;
-  nlh::dist::dist_solver solver(cfg, own);
-  solver.set_initial_condition();
-  solver.run(5);
-  std::cout << "Real solver: 5 steps, ghost traffic "
-            << solver.ghost_bytes() << " bytes over "
-            << "locality boundary.\n\n";
+  // --- Real asynchronous run through the facade --------------------------
+  auto& solver = session.solver();
+  solver.run(opt.num_steps);
+  const auto metrics = solver.metrics();
+  std::cout << "Real solver: " << metrics.steps << " steps, ghost traffic "
+            << metrics.ghost_bytes << " bytes over locality boundary ("
+            << metrics.kernel_backend << " kernel backend).\n\n";
 
   // --- Virtual-time comparison: overlap on vs off ------------------------
   // Virtual time is measured in DP-update units (work_per_dp = 1, node

@@ -1,81 +1,91 @@
 ///
 /// \file quickstart.cpp
-/// \brief Smallest end-to-end use of the library: solve the 2-D nonlocal
-/// heat equation (serial and distributed), validate against the
-/// manufactured solution.
+/// \brief Smallest end-to-end use of the library, entirely through the
+/// `nlh::api::session` facade: solve the 2-D nonlocal heat equation with
+/// the serial and the distributed backend, compare the two fields and (for
+/// scenarios with an exact solution) the error against it.
 ///
 /// Usage: quickstart [--n 64] [--eps-factor 4] [--steps 20] [--nodes 2]
+///                   [--sd-grid 4] [--scenario manufactured] [--backend ""]
+///                   [--dt-safety 0.5] [--conductivity 1.0]
+///
+/// `--scenario` takes any registered scenario (manufactured,
+/// gaussian_pulse, lshape, crack, ...); `--backend` pins the kernel
+/// backend (scalar, row_run, simd) instead of the deprecated
+/// NLH_KERNEL_BACKEND environment variable.
 ///
 
+#include <cmath>
 #include <iostream>
+#include <stdexcept>
 
-#include "dist/dist_solver.hpp"
-#include "nonlocal/serial_solver.hpp"
-#include "partition/multilevel.hpp"
-#include "partition/mesh_dual.hpp"
+#include "api/session.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   const nlh::support::cli cli(argc, argv);
-  const int n = cli.get_int("n", 64);
-  const int eps_factor = cli.get_int("eps-factor", 4);
-  const int steps = cli.get_int("steps", 20);
-  const int nodes = cli.get_int("nodes", 2);
 
-  std::cout << "nonlocalheat quickstart: " << n << "x" << n
-            << " mesh, epsilon = " << eps_factor << "h, " << steps << " steps, "
-            << nodes << " localities\n\n";
+  nlh::api::session_options opt;
+  opt.scenario = cli.get("scenario", "manufactured");
+  opt.n = cli.get_int("n", 64);
+  opt.epsilon_factor = cli.get_int("eps-factor", 4);
+  opt.num_steps = cli.get_int("steps", 20);
+  opt.dt_safety = cli.get_double("dt-safety", 0.5);
+  opt.conductivity = cli.get_double("conductivity", 1.0);
+  opt.kernel_backend = cli.get("backend", "");
+  opt.sd_grid = cli.get_int("sd-grid", 4);
+  opt.nodes = cli.get_int("nodes", 2);
 
-  // --- Serial reference -----------------------------------------------
-  nlh::nonlocal::solver_config scfg;
-  scfg.n = n;
-  scfg.epsilon_factor = eps_factor;
-  scfg.num_steps = steps;
-  nlh::nonlocal::serial_solver serial(scfg);
-  const auto sres = serial.run();
+  std::cout << "nonlocalheat quickstart: scenario '" << opt.scenario << "', "
+            << opt.n << "x" << opt.n << " mesh, epsilon = " << opt.epsilon_factor
+            << "h, " << opt.num_steps << " steps, " << opt.nodes
+            << " localities\n\n";
 
-  // --- Distributed solve on the same mesh ------------------------------
-  // Decompose into SDs of n/4 DPs, partition the SD dual graph
-  // METIS-style, run the asynchronous solver over in-process localities.
-  const int sd_grid = 4;
-  const int sd_size = n / sd_grid;
-  nlh::dist::dist_config dcfg;
-  dcfg.sd_rows = dcfg.sd_cols = sd_grid;
-  dcfg.sd_size = sd_size;
-  dcfg.epsilon_factor = eps_factor;
+  try {
+    // --- Serial reference -------------------------------------------------
+    opt.mode = nlh::api::execution_mode::serial;
+    nlh::api::session serial(opt);
+    auto& sref = serial.solver();
+    sref.run(opt.num_steps);
 
-  nlh::partition::mesh_dual_options mopt;
-  mopt.sd_rows = mopt.sd_cols = sd_grid;
-  mopt.sd_size = sd_size;
-  mopt.ghost_width = eps_factor;
-  auto dual = nlh::partition::build_mesh_dual(mopt);
-  nlh::partition::partition_options popt;
-  popt.k = nodes;
-  const auto part = nlh::partition::multilevel_partition(dual, popt);
+    // --- Distributed solve on the same mesh -------------------------------
+    // The session decomposes the mesh into SDs, partitions the SD dual
+    // graph METIS-style and runs the asynchronous solver over in-process
+    // localities — the eight-step chain the examples used to hand-wire.
+    opt.mode = nlh::api::execution_mode::distributed;
+    nlh::api::session dist(opt);
+    auto& dref = dist.solver();
+    dref.run(opt.num_steps);
 
-  const nlh::dist::tiling t(sd_grid, sd_grid, sd_size, eps_factor);
-  nlh::dist::dist_solver solver(
-      dcfg, nlh::dist::ownership_map::from_partition(t, nodes, part));
-  solver.set_initial_condition();
-  solver.run(steps);
+    const bool has_exact = serial.active_scenario().has_exact();
+    nlh::support::table out({"solver", "dt", "max-rel-error", "ghost-KiB"});
+    auto add_row = [&](const char* name, nlh::api::solver_handle& h) {
+      auto& row = out.row().add(name).add(h.dt(), 3);
+      if (has_exact)
+        row.add(h.error_vs_exact(), 3);
+      else
+        row.add("-");
+      row.add(static_cast<double>(h.ghost_bytes()) / 1024.0, 4);
+    };
+    add_row("serial", sref);
+    add_row("distributed", dref);
+    out.print(std::cout);
 
-  // Compare the distributed field against the exact solution.
-  nlh::nonlocal::manufactured_problem prob(solver.grid(),
-                                           serial.interaction_stencil(),
-                                           solver.scaling_constant());
-  const auto exact = prob.exact_field(steps * solver.dt());
-  const auto mine = solver.gather();
-  const double dist_err =
-      nlh::nonlocal::error_max_relative(solver.grid(), exact, mine);
-
-  nlh::support::table out({"solver", "dt", "max-rel-error", "ghost-KiB"});
-  out.row().add("serial").add(sres.dt, 3).add(sres.max_relative_error, 3).add(0);
-  out.row().add("distributed").add(solver.dt(), 3).add(dist_err, 3).add(
-      static_cast<double>(solver.ghost_bytes()) / 1024.0, 4);
-  out.print(std::cout);
-
-  std::cout << "\nBoth solvers track the manufactured solution "
-               "w = cos(2 pi t) sin(2 pi x) sin(2 pi y).\n";
-  return 0;
+    // The headline property: both backends produce the same bits.
+    const auto& g = sref.grid();
+    const auto sf = sref.field();
+    const auto df = dref.field();
+    double max_diff = 0.0;
+    for (int i = 0; i < g.n(); ++i)
+      for (int j = 0; j < g.n(); ++j)
+        max_diff = std::max(max_diff, std::abs(sf[g.flat(i, j)] - df[g.flat(i, j)]));
+    std::cout << "\nmax |serial - distributed| = " << max_diff
+              << (max_diff == 0.0 ? " (bitwise agreement)" : "") << "\n";
+    std::cout << "Kernel backend: " << sref.metrics().kernel_backend << "\n";
+    return max_diff == 0.0 ? 0 : 1;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "quickstart: " << e.what() << "\n";
+    return 1;
+  }
 }

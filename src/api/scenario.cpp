@@ -1,0 +1,202 @@
+///
+/// \file scenario.cpp
+/// \brief Built-in scenarios and the string-keyed registry. The
+/// manufactured scenario delegates to the exact same math as
+/// nonlocal::manufactured_problem, so routing the solvers through it
+/// changes no bits of any existing run.
+///
+
+#include "api/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "dist/tiling.hpp"
+#include "model/crack.hpp"
+#include "nonlocal/problem.hpp"
+#include "support/assert.hpp"
+
+namespace nlh::api {
+
+// ------------------------------------------------------- scenario defaults --
+
+void scenario::fill_aux(const scenario_context&, double, const nonlocal::dp_rect&,
+                        std::vector<double>&) const {}
+
+void scenario::source_into(const scenario_context& ctx, double,
+                           const std::vector<double>&, const nonlocal::dp_rect& rect,
+                           std::vector<double>& out) const {
+  const auto& g = *ctx.grid;
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j) out[g.flat(i, j)] = 0.0;
+}
+
+double scenario::exact(double, double, double) const {
+  NLH_ASSERT_MSG(false, "scenario::exact called on a scenario without an exact "
+                        "solution (check has_exact() first)");
+  return 0.0;
+}
+
+std::vector<char> scenario::sd_mask(int, int) const { return {}; }
+
+std::vector<double> scenario::sd_work(int, int) const { return {}; }
+
+// --------------------------------------------------------------- registry --
+
+namespace {
+
+using registry_map = std::map<std::string, scenario_factory>;
+
+registry_map& registry() {
+  static registry_map* r = [] {
+    auto* m = new registry_map;
+    (*m)["manufactured"] = [] { return std::make_shared<const manufactured_scenario>(); };
+    (*m)["gaussian_pulse"] = [] {
+      return std::make_shared<const gaussian_pulse_scenario>();
+    };
+    (*m)["lshape"] = [] { return std::make_shared<const lshape_scenario>(); };
+    (*m)["crack"] = [] { return std::make_shared<const crack_scenario>(); };
+    return m;
+  }();
+  return *r;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void register_scenario(const std::string& name, scenario_factory factory) {
+  NLH_ASSERT_MSG(!name.empty(), "register_scenario: empty name");
+  NLH_ASSERT_MSG(factory != nullptr, "register_scenario: null factory");
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(factory);
+}
+
+std::shared_ptr<const scenario> make_scenario(const std::string& name) {
+  scenario_factory factory;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto& reg = registry();
+    const auto it = reg.find(name);
+    if (it == reg.end()) {
+      std::ostringstream msg;
+      msg << "unknown scenario '" << name << "'; registered scenarios:";
+      for (const auto& [key, _] : reg) msg << " " << key;
+      throw std::invalid_argument(msg.str());
+    }
+    factory = it->second;
+  }
+  // Invoked outside the lock: factories may themselves consult the
+  // registry (e.g. compose over make_scenario).
+  return factory();
+}
+
+std::vector<std::string> scenario_names() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [key, _] : registry()) names.push_back(key);
+  return names;  // std::map iteration is already sorted
+}
+
+// ----------------------------------------------------------- manufactured --
+
+double manufactured_scenario::initial(double x1, double x2) const {
+  return nonlocal::manufactured_problem::u0(x1, x2);
+}
+
+void manufactured_scenario::fill_aux(const scenario_context& ctx, double t,
+                                     const nonlocal::dp_rect& rect,
+                                     std::vector<double>& aux) const {
+  const auto& g = *ctx.grid;
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j)
+      aux[g.flat(i, j)] = nonlocal::manufactured_problem::w(t, g.x(j), g.y(i));
+}
+
+void manufactured_scenario::source_into(const scenario_context& ctx, double t,
+                                        const std::vector<double>& aux,
+                                        const nonlocal::dp_rect& rect,
+                                        std::vector<double>& out) const {
+  const auto& g = *ctx.grid;
+  NLH_ASSERT(aux.size() == g.total() && out.size() == g.total());
+  // b = dw/dt - L_h[w] over rect: identical expression order to
+  // manufactured_problem::source_into, so the bits match the historical
+  // hard-wired path.
+  nonlocal::apply_nonlocal_operator(g, *ctx.plan, ctx.scaling_constant, aux, out, rect);
+  for (int i = rect.row_begin; i < rect.row_end; ++i)
+    for (int j = rect.col_begin; j < rect.col_end; ++j) {
+      const auto idx = g.flat(i, j);
+      out[idx] = nonlocal::manufactured_problem::dwdt(t, g.x(j), g.y(i)) - out[idx];
+    }
+}
+
+double manufactured_scenario::exact(double t, double x1, double x2) const {
+  return nonlocal::manufactured_problem::w(t, x1, x2);
+}
+
+// --------------------------------------------------------- gaussian pulse --
+
+gaussian_pulse_scenario::gaussian_pulse_scenario(double center_x, double center_y,
+                                                 double sigma, double amplitude)
+    : cx_(center_x), cy_(center_y), sigma_(sigma), amplitude_(amplitude) {
+  NLH_ASSERT_MSG(sigma > 0.0, "gaussian_pulse_scenario: sigma must be positive");
+}
+
+double gaussian_pulse_scenario::initial(double x1, double x2) const {
+  if (x1 < 0.0 || x1 > 1.0 || x2 < 0.0 || x2 > 1.0) return 0.0;
+  const double dx = x1 - cx_;
+  const double dy = x2 - cy_;
+  return amplitude_ * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma_ * sigma_));
+}
+
+// ------------------------------------------------------------------ lshape --
+
+double lshape_scenario::initial(double x1, double x2) const {
+  // Pulse centered in the lower-left quadrant, away from the re-entrant
+  // corner of the L.
+  return gaussian_pulse_scenario(0.3, 0.3, 0.08).initial(x1, x2);
+}
+
+std::vector<char> lshape_scenario::sd_mask(int sd_rows, int sd_cols) const {
+  // Top-right SD quadrant void — matches dist::domain_mask::l_shape.
+  const int half_rows = sd_rows / 2;
+  const int half_cols = sd_cols / 2;
+  std::vector<char> mask(static_cast<std::size_t>(sd_rows) * sd_cols, 1);
+  for (int r = 0; r < half_rows; ++r)
+    for (int c = half_cols; c < sd_cols; ++c)
+      mask[static_cast<std::size_t>(r) * sd_cols + c] = 0;
+  return mask;
+}
+
+// ------------------------------------------------------------------- crack --
+
+crack_scenario::crack_scenario(double x0, double y0, double x1, double y1,
+                               double work_reduction)
+    : x0_(x0), y0_(y0), x1_(x1), y1_(y1), reduction_(work_reduction) {
+  NLH_ASSERT_MSG(work_reduction >= 0.0 && work_reduction < 1.0,
+                 "crack_scenario: work_reduction must be in [0, 1)");
+}
+
+double crack_scenario::initial(double x1, double x2) const {
+  // The crack perturbs work, not temperature: start from the same smooth
+  // field as the manufactured problem so the solve stays comparable.
+  return nonlocal::manufactured_problem::u0(x1, x2);
+}
+
+std::vector<double> crack_scenario::sd_work(int sd_rows, int sd_cols) const {
+  // crack_work_scale only reads the SD-grid geometry, so a unit tiling is
+  // enough to reuse it here.
+  const dist::tiling t(sd_rows, sd_cols, 1, 1);
+  return model::crack_work_scale(t, model::crack_line{x0_, y0_, x1_, y1_},
+                                 reduction_);
+}
+
+}  // namespace nlh::api

@@ -1,0 +1,456 @@
+///
+/// \file session.cpp
+/// \brief Session facade implementation: option validation, the internal
+/// mesh-dual / partition / tiling / ownership chain, and the serial /
+/// distributed solver_handle backends.
+///
+
+#include "api/session.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/dist_solver.hpp"
+#include "nonlocal/error.hpp"
+#include "nonlocal/kernel/backend.hpp"
+#include "partition/mesh_dual.hpp"
+#include "partition/metrics.hpp"
+#include "partition/multilevel.hpp"
+#include "partition/partitioner.hpp"
+#include "support/stopwatch.hpp"
+
+namespace nlh::api {
+
+// ----------------------------------------------------------- solver_handle --
+
+solver_handle::solver_handle(std::shared_ptr<const scenario> scn)
+    : scenario_(std::move(scn)) {}
+
+void solver_handle::step() {
+  support::stopwatch sw;
+  do_step();
+  wall_seconds_ += sw.elapsed_s();
+  if (observer_) observer_(step_event{current_step(), current_step() * dt()});
+}
+
+void solver_handle::run(int steps) {
+  for (int k = 0; k < steps; ++k) step();
+}
+
+std::vector<double> solver_handle::exact_now() const {
+  if (!scenario_->has_exact())
+    throw std::logic_error("solver_handle: scenario '" + scenario_->name() +
+                           "' provides no exact solution; error-vs-exact metrics "
+                           "are unavailable (check active_scenario().has_exact())");
+  const auto& g = grid();
+  auto exact = g.make_field();
+  const double t = current_step() * dt();
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      exact[g.flat(i, j)] = scenario_->exact(t, g.x(j), g.y(i));
+  return exact;
+}
+
+double solver_handle::error_vs_exact() const {
+  return nonlocal::error_max_relative(grid(), exact_now(), field());
+}
+
+double solver_handle::error_ek_vs_exact() const {
+  return nonlocal::error_ek(grid(), exact_now(), field());
+}
+
+runtime_metrics solver_handle::metrics() const {
+  runtime_metrics m;
+  m.steps = current_step();
+  m.dt = dt();
+  m.wall_seconds = wall_seconds_;
+  m.ghost_bytes = ghost_bytes();
+  m.kernel_backend =
+      nonlocal::kernel_backend_name(nonlocal::kernel_default_backend());
+  return m;
+}
+
+namespace {
+
+/// solver_handle backed by the single-threaded reference solver.
+class serial_handle final : public solver_handle {
+ public:
+  serial_handle(const session_options& opt, std::shared_ptr<const scenario> scn)
+      : solver_handle(scn), solver_(make_config(opt), std::move(scn)) {
+    solver_.set_initial_condition();
+  }
+
+  const nonlocal::grid2d& grid() const override { return solver_.grid(); }
+  std::vector<double> field() const override { return solver_.field(); }
+  double dt() const override { return solver_.dt(); }
+  int current_step() const override { return steps_; }
+
+ protected:
+  void do_step() override {
+    solver_.step(steps_);
+    ++steps_;
+  }
+
+ private:
+  static nonlocal::solver_config make_config(const session_options& o) {
+    nonlocal::solver_config cfg;
+    cfg.n = o.n;
+    cfg.epsilon_factor = o.epsilon_factor;
+    cfg.conductivity = o.conductivity;
+    cfg.dt = o.dt;
+    cfg.dt_safety = o.dt_safety;
+    cfg.num_steps = o.num_steps;
+    cfg.kind = o.kind;
+    cfg.integrator = o.integrator;
+    return cfg;
+  }
+
+  nonlocal::serial_solver solver_;
+  int steps_ = 0;
+};
+
+/// solver_handle backed by the asynchronous distributed solver.
+class dist_handle final : public solver_handle {
+ public:
+  dist_handle(const session_options& opt, std::shared_ptr<const scenario> scn,
+              const dist::ownership_map& own)
+      : solver_handle(scn), solver_(make_config(opt), own, std::move(scn)) {
+    solver_.set_initial_condition();
+  }
+
+  const nonlocal::grid2d& grid() const override { return solver_.grid(); }
+  std::vector<double> field() const override { return solver_.gather(); }
+  double dt() const override { return solver_.dt(); }
+  int current_step() const override { return solver_.current_step(); }
+  std::uint64_t ghost_bytes() const override { return solver_.ghost_bytes(); }
+
+ protected:
+  void do_step() override { solver_.step(); }
+
+ private:
+  static dist::dist_config make_config(const session_options& o) {
+    dist::dist_config cfg;
+    cfg.sd_rows = cfg.sd_cols = o.sd_grid;
+    cfg.sd_size = o.n / o.sd_grid;
+    cfg.epsilon_factor = o.epsilon_factor;
+    cfg.conductivity = o.conductivity;
+    cfg.dt = o.dt;
+    cfg.dt_safety = o.dt_safety;
+    cfg.kind = o.kind;
+    cfg.threads_per_locality = o.threads_per_locality;
+    cfg.overlap_communication = o.overlap_communication;
+    return cfg;
+  }
+
+  dist::dist_solver solver_;
+};
+
+bool is_power_of_two(int v) { return v >= 1 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+// ---------------------------------------------------------------- session --
+
+std::vector<std::string> session::validate(const session_options& opt) {
+  std::vector<std::string> errs;
+  std::shared_ptr<const scenario> scn = opt.custom_scenario;
+  if (!scn) {
+    try {
+      scn = make_scenario(opt.scenario);
+    } catch (const std::invalid_argument& e) {
+      errs.push_back(std::string("session_options.scenario: ") + e.what());
+    }
+  }
+  const auto rest = validate_resolved(opt, scn.get());
+  errs.insert(errs.end(), rest.begin(), rest.end());
+  return errs;
+}
+
+std::vector<std::string> session::validate_resolved(const session_options& opt,
+                                                    const scenario* scn) {
+  std::vector<std::string> errs;
+  auto err = [&errs](const std::ostringstream& msg) { errs.push_back(msg.str()); };
+
+  if (opt.n < 1) {
+    std::ostringstream m;
+    m << "session_options.n: interior DPs per dimension must be positive (got "
+      << opt.n << ")";
+    err(m);
+  }
+  if (opt.epsilon_factor < 1) {
+    std::ostringstream m;
+    m << "session_options.epsilon_factor: must be at least 1 (got "
+      << opt.epsilon_factor << ")";
+    err(m);
+  } else if (opt.n >= 1 && opt.epsilon_factor > opt.n) {
+    std::ostringstream m;
+    m << "session_options.epsilon_factor: horizon " << opt.epsilon_factor
+      << " exceeds the mesh size n = " << opt.n;
+    err(m);
+  }
+  if (opt.conductivity <= 0.0) {
+    std::ostringstream m;
+    m << "session_options.conductivity: must be positive (got " << opt.conductivity
+      << ")";
+    err(m);
+  }
+  if (opt.dt < 0.0) {
+    std::ostringstream m;
+    m << "session_options.dt: must be non-negative; 0 selects the stability "
+         "bound * dt_safety (got "
+      << opt.dt << ")";
+    err(m);
+  }
+  if (opt.dt_safety <= 0.0) {
+    std::ostringstream m;
+    m << "session_options.dt_safety: must be positive (got " << opt.dt_safety
+      << ")";
+    err(m);
+  }
+  if (opt.num_steps < 1) {
+    std::ostringstream m;
+    m << "session_options.num_steps: must be at least 1 (got " << opt.num_steps
+      << ")";
+    err(m);
+  }
+  if (!opt.kernel_backend.empty() &&
+      !nonlocal::parse_kernel_backend(opt.kernel_backend)) {
+    std::ostringstream m;
+    m << "session_options.kernel_backend: unknown backend '" << opt.kernel_backend
+      << "'; valid: scalar, row_run, simd (empty keeps the process default)";
+    err(m);
+  }
+
+  if (opt.mode == execution_mode::distributed) {
+    if (opt.sd_grid < 1) {
+      std::ostringstream m;
+      m << "session_options.sd_grid: must be positive (got " << opt.sd_grid << ")";
+      err(m);
+    } else if (opt.n >= 1) {
+      if (opt.n % opt.sd_grid != 0) {
+        std::ostringstream m;
+        m << "session_options.sd_grid: n = " << opt.n
+          << " is not divisible by sd_grid = " << opt.sd_grid
+          << "; pick a divisor so SDs tile the mesh";
+        err(m);
+      } else if (opt.epsilon_factor >= 1 && opt.n / opt.sd_grid < opt.epsilon_factor) {
+        std::ostringstream m;
+        m << "session_options.sd_grid: SD side n/sd_grid = " << opt.n / opt.sd_grid
+          << " is smaller than the ghost width epsilon_factor = "
+          << opt.epsilon_factor << "; use fewer, larger SDs";
+        err(m);
+      }
+    }
+    if (opt.nodes < 1) {
+      std::ostringstream m;
+      m << "session_options.nodes: must be at least 1 (got " << opt.nodes << ")";
+      err(m);
+    }
+    if (opt.threads_per_locality < 1) {
+      std::ostringstream m;
+      m << "session_options.threads_per_locality: must be at least 1 (got "
+        << opt.threads_per_locality << ")";
+      err(m);
+    }
+    if (opt.integrator != nonlocal::time_integrator::forward_euler) {
+      std::ostringstream m;
+      m << "session_options.integrator: the distributed solver integrates "
+           "forward Euler only; use serial mode for RK schemes";
+      err(m);
+    }
+    if (opt.partitioner == partition_strategy::recursive_bisection &&
+        !is_power_of_two(opt.nodes)) {
+      std::ostringstream m;
+      m << "session_options.partitioner: recursive_bisection requires a "
+           "power-of-two node count (got nodes = "
+        << opt.nodes << ")";
+      err(m);
+    }
+    if (scn && opt.sd_grid >= 1) {
+      const auto mask = scn->sd_mask(opt.sd_grid, opt.sd_grid);
+      const auto num_sds =
+          static_cast<std::size_t>(opt.sd_grid) * static_cast<std::size_t>(opt.sd_grid);
+      if (!mask.empty() && mask.size() != num_sds) {
+        std::ostringstream m;
+        m << "session_options.scenario: scenario '" << scn->name()
+          << "' returned an SD mask of size " << mask.size() << " for a "
+          << opt.sd_grid << "x" << opt.sd_grid << " SD grid";
+        err(m);
+      } else {
+        std::size_t active = num_sds;
+        if (!mask.empty()) {
+          active = 0;
+          for (const char a : mask) active += a != 0 ? 1u : 0u;
+        }
+        if (opt.nodes >= 1 && static_cast<std::size_t>(opt.nodes) > active) {
+          std::ostringstream m;
+          m << "session_options.nodes: " << opt.nodes << " localities exceed the "
+            << active << " active SDs; every locality needs at least one SD";
+          err(m);
+        }
+      }
+    }
+  }
+
+  return errs;
+}
+
+session::session(session_options opt) : opt_(std::move(opt)) {
+  std::vector<std::string> errs;
+  scenario_ = opt_.custom_scenario;
+  if (!scenario_) {
+    try {
+      scenario_ = make_scenario(opt_.scenario);
+    } catch (const std::invalid_argument& e) {
+      errs.push_back(std::string("session_options.scenario: ") + e.what());
+    }
+  }
+  const auto rest = validate_resolved(opt_, scenario_.get());
+  errs.insert(errs.end(), rest.begin(), rest.end());
+  if (!errs.empty()) {
+    std::ostringstream msg;
+    msg << "invalid session_options (" << errs.size() << " problem"
+        << (errs.size() > 1 ? "s" : "") << "):";
+    for (const auto& e : errs) msg << "\n  - " << e;
+    throw std::invalid_argument(msg.str());
+  }
+
+  // Explicit backend choice wins over the (deprecated) NLH_KERNEL_BACKEND
+  // environment side-channel; an empty field keeps the process default,
+  // which still honors the env as a fallback.
+  if (!opt_.kernel_backend.empty())
+    nonlocal::set_kernel_default_backend(
+        *nonlocal::parse_kernel_backend(opt_.kernel_backend));
+
+  if (opt_.mode == execution_mode::distributed) build_distribution();
+}
+
+void session::build_distribution() {
+  const int sd_size = opt_.n / opt_.sd_grid;
+  tiling_.emplace(opt_.sd_grid, opt_.sd_grid, sd_size, opt_.epsilon_factor);
+
+  const auto raw_mask = scenario_->sd_mask(opt_.sd_grid, opt_.sd_grid);
+  if (raw_mask.empty()) {
+    mask_.emplace(dist::domain_mask::full(*tiling_));
+  } else {
+    mask_.emplace(dist::domain_mask::from_predicate(
+        *tiling_, [&raw_mask, this](int r, int c) {
+          return raw_mask[static_cast<std::size_t>(r) * opt_.sd_grid + c] != 0;
+        }));
+  }
+
+  partition::mesh_dual_options mopt;
+  mopt.sd_rows = mopt.sd_cols = opt_.sd_grid;
+  mopt.sd_size = sd_size;
+  mopt.ghost_width = opt_.epsilon_factor;
+  const auto work = scenario_->sd_work(opt_.sd_grid, opt_.sd_grid);
+  if (!work.empty()) {
+    // Scenario work values are multipliers; the dual graph wants absolute
+    // per-SD vertex weights (DP count * multiplier).
+    mopt.sd_work.resize(work.size());
+    const double dps = static_cast<double>(sd_size) * sd_size;
+    for (std::size_t i = 0; i < work.size(); ++i) mopt.sd_work[i] = work[i] * dps;
+  }
+
+  partition::partition_options popt;
+  popt.k = opt_.nodes;
+
+  const bool masked = mask_->num_active() != tiling_->num_sds();
+  if (masked) {
+    const auto dual = partition::build_mesh_dual_masked(mopt, mask_->raw());
+    partition::partition_vector mpart;
+    switch (opt_.partitioner) {
+      case partition_strategy::multilevel:
+        mpart = partition::multilevel_partition(dual.g, popt);
+        break;
+      case partition_strategy::recursive_bisection:
+        mpart = partition::recursive_bisection_partition(dual.g, popt);
+        break;
+      case partition_strategy::block: {
+        // Block baseline over the full grid, projected onto active SDs.
+        const auto full =
+            partition::block_partition(opt_.sd_grid, opt_.sd_grid, opt_.nodes);
+        mpart.resize(static_cast<std::size_t>(dual.g.num_vertices()));
+        for (partition::vid v = 0; v < dual.g.num_vertices(); ++v)
+          mpart[static_cast<std::size_t>(v)] =
+              full[static_cast<std::size_t>(dual.to_sd[static_cast<std::size_t>(v)])];
+        break;
+      }
+    }
+    edge_cut_ = partition::edge_cut(dual.g, mpart);
+    balance_ = partition::balance_factor(dual.g, mpart, opt_.nodes);
+    // Project back to full SD ids; inactive SDs are parked on node 0 (the
+    // solver and simulator never exchange ghosts for them).
+    part_.assign(static_cast<std::size_t>(tiling_->num_sds()), 0);
+    for (partition::vid v = 0; v < dual.g.num_vertices(); ++v)
+      part_[static_cast<std::size_t>(dual.to_sd[static_cast<std::size_t>(v)])] =
+          mpart[static_cast<std::size_t>(v)];
+  } else {
+    const auto dual = partition::build_mesh_dual(mopt);
+    switch (opt_.partitioner) {
+      case partition_strategy::multilevel:
+        part_ = partition::multilevel_partition(dual, popt);
+        break;
+      case partition_strategy::recursive_bisection:
+        part_ = partition::recursive_bisection_partition(dual, popt);
+        break;
+      case partition_strategy::block:
+        part_ = partition::block_partition(opt_.sd_grid, opt_.sd_grid, opt_.nodes);
+        break;
+    }
+    edge_cut_ = partition::edge_cut(dual, part_);
+    balance_ = partition::balance_factor(dual, part_, opt_.nodes);
+  }
+
+  own_.emplace(dist::ownership_map::from_partition(*tiling_, opt_.nodes, part_));
+}
+
+solver_handle& session::solver() {
+  if (!solver_) {
+    if (opt_.mode == execution_mode::serial)
+      solver_ = std::make_unique<serial_handle>(opt_, scenario_);
+    else
+      solver_ = std::make_unique<dist_handle>(opt_, scenario_, *own_);
+  }
+  return *solver_;
+}
+
+void session::require_distributed(const char* what) const {
+  if (opt_.mode != execution_mode::distributed)
+    throw std::logic_error(std::string("session::") + what +
+                           ": only available in distributed mode");
+}
+
+const dist::tiling& session::sd_tiling() const {
+  require_distributed("sd_tiling");
+  return *tiling_;
+}
+
+const dist::ownership_map& session::ownership() const {
+  require_distributed("ownership");
+  return *own_;
+}
+
+const std::vector<int>& session::partition() const {
+  require_distributed("partition");
+  return part_;
+}
+
+const dist::domain_mask& session::mask() const {
+  require_distributed("mask");
+  return *mask_;
+}
+
+double session::partition_edge_cut() const {
+  require_distributed("partition_edge_cut");
+  return edge_cut_;
+}
+
+double session::partition_balance() const {
+  require_distributed("partition_balance");
+  return balance_;
+}
+
+}  // namespace nlh::api

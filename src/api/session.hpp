@@ -1,0 +1,199 @@
+#pragma once
+///
+/// \file session.hpp
+/// \brief The `nlh::api::session` facade: one declarative entry point over
+/// the mesh-dual / partition / tiling / ownership / solver chain
+/// (docs/api.md).
+///
+/// Callers describe a run with `session_options` (scenario, mesh,
+/// execution mode, partitioning, kernel backend); the session validates
+/// the options with actionable errors, builds the distribution internally
+/// and exposes one polymorphic `solver_handle` backed by either the serial
+/// reference or the asynchronous distributed solver. Both backends route
+/// the physics through the same `scenario`, so the serial==distributed
+/// bitwise guarantee holds per kernel backend through the facade exactly
+/// as it does for the hand-wired layers.
+///
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/scenario.hpp"
+#include "dist/domain_mask.hpp"
+#include "dist/ownership.hpp"
+#include "dist/tiling.hpp"
+#include "nonlocal/serial_solver.hpp"
+
+namespace nlh::api {
+
+/// Which solver backs the session's solver_handle.
+enum class execution_mode {
+  serial,       ///< single-threaded reference solver
+  distributed,  ///< asynchronous multi-locality solver
+};
+
+/// How the SD dual graph is split across localities (distributed mode).
+enum class partition_strategy {
+  multilevel,           ///< METIS-style multilevel k-way (the default)
+  recursive_bisection,  ///< recursive 2-way multilevel; k must be a power of two
+  block,                ///< rectangular block baseline (no graph model)
+};
+
+/// One declarative description of a run. Subsumes
+/// `nonlocal::solver_config` and `dist::dist_config` plus the partitioning
+/// and kernel-backend choices the examples used to hand-wire.
+struct session_options {
+  /// Registry key of the workload (see scenario_names()); ignored when
+  /// custom_scenario is set.
+  std::string scenario = "manufactured";
+  /// Explicit scenario instance (e.g. a parameterized crack_scenario);
+  /// overrides `scenario` when non-null.
+  std::shared_ptr<const class scenario> custom_scenario;
+
+  execution_mode mode = execution_mode::serial;
+
+  // --- Discretization (both modes) ---------------------------------------
+  int n = 64;                 ///< interior DPs per dimension
+  int epsilon_factor = 4;     ///< epsilon = factor * h (= ghost width in DPs)
+  double conductivity = 1.0;  ///< classical k
+  double dt = 0.0;            ///< 0 = stability bound * dt_safety
+  double dt_safety = 0.5;     ///< fraction of the stability bound
+  int num_steps = 20;         ///< step budget callers pass to solver_handle::run()
+  nonlocal::influence_kind kind = nonlocal::influence_kind::constant;
+  /// Serial mode only; the distributed solver integrates forward Euler.
+  nonlocal::time_integrator integrator = nonlocal::time_integrator::forward_euler;
+
+  // --- Distribution (distributed mode) -----------------------------------
+  int sd_grid = 4;   ///< SDs per dimension; n must divide evenly
+  int nodes = 2;     ///< localities
+  int threads_per_locality = 1;
+  bool overlap_communication = true;
+  partition_strategy partitioner = partition_strategy::multilevel;
+
+  // --- Kernel backend ------------------------------------------------------
+  /// "scalar", "row_run" or "simd"; applied process-wide at session build.
+  /// Empty = keep the process default (the NLH_KERNEL_BACKEND environment
+  /// variable is still honored as a fallback, but is deprecated in favor
+  /// of this field — see docs/api.md).
+  std::string kernel_backend;
+};
+
+/// Passed to the per-step observer after every completed step.
+struct step_event {
+  int step = 0;   ///< completed steps so far (1 after the first step)
+  double t = 0.0; ///< simulated time step * dt
+};
+using step_observer = std::function<void(const step_event&)>;
+
+/// Runtime counters of one solver_handle.
+struct runtime_metrics {
+  int steps = 0;                 ///< completed steps
+  double dt = 0.0;
+  double wall_seconds = 0.0;     ///< wall time spent inside step()
+  std::uint64_t ghost_bytes = 0; ///< serialized ghost traffic (0 serial)
+  std::string kernel_backend;    ///< resolved process-wide backend name
+};
+
+/// Polymorphic handle over the serial / distributed solver: stepping,
+/// field access, error-vs-exact, per-step observer and runtime metrics.
+class solver_handle {
+ public:
+  virtual ~solver_handle() = default;
+  solver_handle(const solver_handle&) = delete;
+  solver_handle& operator=(const solver_handle&) = delete;
+
+  /// Advance one timestep, then notify the observer (if any).
+  void step();
+  /// Advance `steps` timesteps.
+  void run(int steps);
+
+  virtual const nonlocal::grid2d& grid() const = 0;
+  /// The global padded field (distributed: assembled from all SD blocks).
+  virtual std::vector<double> field() const = 0;
+  /// Synonym for field() mirroring dist_solver::gather().
+  std::vector<double> gather() const { return field(); }
+  virtual double dt() const = 0;
+  virtual int current_step() const = 0;
+  /// Serialized ghost-strip traffic so far; 0 for the serial backend.
+  virtual std::uint64_t ghost_bytes() const { return 0; }
+
+  const scenario& active_scenario() const { return *scenario_; }
+  void set_observer(step_observer cb) { observer_ = std::move(cb); }
+
+  /// Max-relative error (Fig. 8 axis) of the current field against the
+  /// scenario's exact solution at the current time. Throws
+  /// std::logic_error when the scenario has no exact solution.
+  double error_vs_exact() const;
+  /// Same comparison through the eq.-7 norm e_k.
+  double error_ek_vs_exact() const;
+
+  runtime_metrics metrics() const;
+
+ protected:
+  explicit solver_handle(std::shared_ptr<const scenario> scn);
+  virtual void do_step() = 0;
+
+ private:
+  std::vector<double> exact_now() const;
+
+  std::shared_ptr<const scenario> scenario_;
+  step_observer observer_;
+  double wall_seconds_ = 0.0;
+};
+
+/// The facade. Construction validates the options (throwing
+/// std::invalid_argument with one actionable message per offence) and, in
+/// distributed mode, runs the mesh-dual -> partition -> tiling ->
+/// ownership chain; the solver itself is built lazily on first access so
+/// partition-only studies stay cheap.
+class session {
+ public:
+  /// All validation failures of `opt`, each naming the offending field;
+  /// empty = valid.
+  static std::vector<std::string> validate(const session_options& opt);
+
+  explicit session(session_options opt);
+
+  const session_options& options() const { return opt_; }
+  const scenario& active_scenario() const { return *scenario_; }
+
+  /// The polymorphic solver (built on first call, initial condition set).
+  solver_handle& solver();
+
+  // --- Distribution introspection (distributed mode only; these throw
+  // std::logic_error in serial mode) -------------------------------------
+  const dist::tiling& sd_tiling() const;
+  const dist::ownership_map& ownership() const;
+  /// One node id per row-major SD (inactive SDs parked on node 0).
+  const std::vector<int>& partition() const;
+  /// Scenario mask projected onto the SD grid (full when none).
+  const dist::domain_mask& mask() const;
+  /// Weighted edge cut (ghost DPs crossing localities) of the partition.
+  double partition_edge_cut() const;
+  /// Max part weight / ideal part weight of the partition (1.0 = perfect).
+  double partition_balance() const;
+
+ private:
+  /// Validation body once the scenario is resolved (`scn` may be null when
+  /// resolution itself failed; scenario-dependent checks are then skipped).
+  static std::vector<std::string> validate_resolved(const session_options& opt,
+                                                    const scenario* scn);
+  void build_distribution();
+  void require_distributed(const char* what) const;
+
+  session_options opt_;
+  std::shared_ptr<const scenario> scenario_;
+  std::optional<dist::tiling> tiling_;
+  std::optional<dist::domain_mask> mask_;
+  std::vector<int> part_;
+  std::optional<dist::ownership_map> own_;
+  double edge_cut_ = 0.0;
+  double balance_ = 1.0;
+  std::unique_ptr<solver_handle> solver_;
+};
+
+}  // namespace nlh::api

@@ -8,6 +8,8 @@
 #include "dist/dist_solver.hpp"
 
 #include <algorithm>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "amt/async.hpp"
@@ -16,8 +18,88 @@
 
 namespace nlh::dist {
 
-dist_solver::dist_solver(const dist_config& cfg, ownership_map own)
-    : cfg_(cfg),
+std::vector<std::string> validate(const dist_config& cfg) {
+  std::vector<std::string> errs;
+  auto err = [&errs](const std::ostringstream& msg) { errs.push_back(msg.str()); };
+
+  if (cfg.sd_rows < 1 || cfg.sd_cols < 1) {
+    std::ostringstream m;
+    m << "dist_config.sd_rows/sd_cols: the SD grid must be at least 1x1 (got "
+      << cfg.sd_rows << "x" << cfg.sd_cols << ")";
+    err(m);
+  } else if (cfg.sd_rows != cfg.sd_cols) {
+    std::ostringstream m;
+    m << "dist_config.sd_rows/sd_cols: the global mesh must be square (got "
+      << cfg.sd_rows << "x" << cfg.sd_cols << " SDs)";
+    err(m);
+  }
+  if (cfg.sd_size <= 0) {
+    std::ostringstream m;
+    m << "dist_config.sd_size: DPs per SD side must be positive (got "
+      << cfg.sd_size << ")";
+    err(m);
+  }
+  if (cfg.epsilon_factor < 1) {
+    std::ostringstream m;
+    m << "dist_config.epsilon_factor: ghost width must be at least 1 (got "
+      << cfg.epsilon_factor << ")";
+    err(m);
+  } else if (cfg.sd_size > 0 && cfg.epsilon_factor > cfg.sd_size) {
+    std::ostringstream m;
+    m << "dist_config.epsilon_factor: ghost width " << cfg.epsilon_factor
+      << " exceeds sd_size " << cfg.sd_size
+      << "; one neighbor ring can no longer cover the nonlocal horizon "
+         "(shrink epsilon_factor or enlarge the SDs)";
+    err(m);
+  }
+  if (cfg.conductivity <= 0.0) {
+    std::ostringstream m;
+    m << "dist_config.conductivity: must be positive (got " << cfg.conductivity
+      << ")";
+    err(m);
+  }
+  if (cfg.dt < 0.0) {
+    std::ostringstream m;
+    m << "dist_config.dt: must be non-negative; 0 selects the stability bound "
+         "* dt_safety (got "
+      << cfg.dt << ")";
+    err(m);
+  }
+  if (cfg.dt_safety <= 0.0) {
+    std::ostringstream m;
+    m << "dist_config.dt_safety: must be positive (got " << cfg.dt_safety << ")";
+    err(m);
+  }
+  if (cfg.threads_per_locality < 1) {
+    std::ostringstream m;
+    m << "dist_config.threads_per_locality: must be at least 1 (got "
+      << cfg.threads_per_locality << ")";
+    err(m);
+  }
+  return errs;
+}
+
+namespace {
+
+/// Throwing gate run before any member construction, so a bad config never
+/// reaches the tiling/grid asserts.
+dist_config validated(dist_config cfg) {
+  const auto errs = validate(cfg);
+  if (!errs.empty()) {
+    std::ostringstream msg;
+    msg << "invalid dist_config (" << errs.size() << " problem"
+        << (errs.size() > 1 ? "s" : "") << "):";
+    for (const auto& e : errs) msg << "\n  - " << e;
+    throw std::invalid_argument(msg.str());
+  }
+  return cfg;
+}
+
+}  // namespace
+
+dist_solver::dist_solver(const dist_config& cfg, ownership_map own,
+                         std::shared_ptr<const api::scenario> scn)
+    : cfg_(validated(cfg)),
       tiling_(cfg.sd_rows, cfg.sd_cols, cfg.sd_size, cfg.epsilon_factor),
       own_(std::move(own)),
       grid_(cfg.sd_cols * cfg.sd_size,
@@ -26,16 +108,15 @@ dist_solver::dist_solver(const dist_config& cfg, ownership_map own)
       stencil_(grid_, J_),
       c_(J_.scaling_constant(2, cfg.conductivity, grid_.epsilon())),
       dt_(cfg.dt > 0.0 ? cfg.dt : cfg.dt_safety * nonlocal::stable_dt(c_, stencil_)),
-      problem_(grid_, stencil_, c_),
+      plan_(stencil_),
+      scenario_(scn ? std::move(scn)
+                    : std::make_shared<const api::manufactured_scenario>()),
       comm_(own_.num_nodes()),
       w_field_(grid_.make_field()),
       b_field_(grid_.make_field()) {
-  NLH_ASSERT_MSG(tiling_.mesh_rows() == tiling_.mesh_cols(),
-                 "dist_solver: the global mesh must be square");
   NLH_ASSERT(own_.num_sds() == tiling_.num_sds());
   NLH_ASSERT_MSG(grid_.ghost() == cfg.epsilon_factor,
                  "dist_solver: grid ghost width must equal epsilon_factor");
-  NLH_ASSERT(cfg.threads_per_locality >= 1);
 
   pools_.reserve(static_cast<std::size_t>(own_.num_nodes()));
   for (int l = 0; l < own_.num_nodes(); ++l)
@@ -69,7 +150,7 @@ void dist_solver::set_initial_condition() {
     auto& blk = *blocks_[static_cast<std::size_t>(sd)];
     for (int i = 0; i < s; ++i)
       for (int j = 0; j < s; ++j)
-        blk.u()[blk.flat(i, j)] = nonlocal::manufactured_problem::u0(
+        blk.u()[blk.flat(i, j)] = scenario_->initial(
             grid_.x(blk.origin_col() + j), grid_.y(blk.origin_row() + i));
   }
 }
@@ -79,18 +160,18 @@ void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_n
   auto& blk = *blocks_[static_cast<std::size_t>(sd)];
   auto& lu = lu_[static_cast<std::size_t>(sd)];
 
-  // The per-SD blocks and the problem's source term share one compiled
-  // plan (problem_ owns it), applied through the process-wide backend.
+  // The per-SD blocks and the scenario's source term share one compiled
+  // plan, applied through the process-wide backend.
   nonlocal::apply_nonlocal_operator_raw(blk.u().data(), lu.data(), blk.stride(),
-                                        blk.ghost(), problem_.kernel_plan(), c_, rect);
+                                        blk.ghost(), plan_, c_, rect);
 
-  // The manufactured source over the matching global rectangle. Rects of
+  // The scenario source over the matching global rectangle. Rects of
   // concurrent tasks are disjoint, so the shared scratch is race-free.
   const nonlocal::dp_rect grect{rect.row_begin + blk.origin_row(),
                                 rect.row_end + blk.origin_row(),
                                 rect.col_begin + blk.origin_col(),
                                 rect.col_end + blk.origin_col()};
-  problem_.source_into(t_now, w_field_, b_field_, grect);
+  scenario_->source_into(context(), t_now, w_field_, grect, b_field_);
 
   for (int i = rect.row_begin; i < rect.row_end; ++i)
     for (int j = rect.col_begin; j < rect.col_end; ++j) {
@@ -103,22 +184,20 @@ void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_n
 void dist_solver::step() {
   const double t_now = step_ * dt_;
 
-  // w(t_k) on the global grid — analytic, so no communication is needed;
-  // each locality evaluates its own SDs' rectangles (disjoint writes).
-  // Everything must land before compute tasks read across SD boundaries,
-  // so these futures are awaited below, before the computes are posted.
+  // The scenario's auxiliary field on the global grid (manufactured: the
+  // analytic w(t_k), so no communication is needed); each locality
+  // evaluates its own SDs' rectangles (disjoint writes). Everything must
+  // land before compute tasks read across SD boundaries, so these futures
+  // are awaited below, before the computes are posted.
   std::vector<amt::future<void>> w_pending;
   for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
     w_pending.push_back(amt::async(
         *pools_[static_cast<std::size_t>(own_.owner(sd))], [this, sd, t_now] {
           const auto& blk = *blocks_[static_cast<std::size_t>(sd)];
-          for (int i = 0; i < tiling_.sd_size(); ++i)
-            for (int j = 0; j < tiling_.sd_size(); ++j) {
-              const int gi = blk.origin_row() + i;
-              const int gj = blk.origin_col() + j;
-              w_field_[grid_.flat(gi, gj)] =
-                  nonlocal::manufactured_problem::w(t_now, grid_.x(gj), grid_.y(gi));
-            }
+          const nonlocal::dp_rect grect{
+              blk.origin_row(), blk.origin_row() + tiling_.sd_size(),
+              blk.origin_col(), blk.origin_col() + tiling_.sd_size()};
+          scenario_->fill_aux(context(), t_now, grect, w_field_);
         }));
   }
 

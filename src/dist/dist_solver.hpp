@@ -26,15 +26,17 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "amt/thread_pool.hpp"
+#include "api/scenario.hpp"
 #include "dist/ownership.hpp"
 #include "dist/sd_block.hpp"
 #include "dist/tiling.hpp"
 #include "net/comm_world.hpp"
 #include "nonlocal/influence.hpp"
-#include "nonlocal/problem.hpp"
+#include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::dist {
@@ -54,9 +56,19 @@ struct dist_config {
   bool overlap_communication = true;
 };
 
+/// All validation failures of `cfg`, each naming the offending field
+/// ("dist_config.sd_size: ..."); empty = valid. dist_solver construction
+/// runs this and throws std::invalid_argument on the first build error,
+/// instead of asserting deep inside tiling.
+std::vector<std::string> validate(const dist_config& cfg);
+
 class dist_solver {
  public:
-  dist_solver(const dist_config& cfg, ownership_map own);
+  /// \param scn the workload scenario; null selects the manufactured
+  /// problem (the historical hard-wired behaviour, bit for bit).
+  /// Throws std::invalid_argument when validate(cfg) reports problems.
+  dist_solver(const dist_config& cfg, ownership_map own,
+              std::shared_ptr<const api::scenario> scn = nullptr);
 
   dist_solver(const dist_solver&) = delete;
   dist_solver& operator=(const dist_solver&) = delete;
@@ -70,8 +82,9 @@ class dist_solver {
   double dt() const { return dt_; }
   double scaling_constant() const { return c_; }
   int current_step() const { return step_; }
+  const api::scenario& active_scenario() const { return *scenario_; }
 
-  /// Initialize every owned SD to the manufactured initial condition.
+  /// Initialize every owned SD to the scenario's initial condition.
   void set_initial_condition();
 
   /// Advance one asynchronous timestep (ghost exchange + case-1/case-2
@@ -108,6 +121,8 @@ class dist_solver {
   std::uint64_t ghost_tag(int step, int sd, direction d) const;
   std::uint64_t migration_tag(int sd) const;
 
+  api::scenario_context context() const { return {&grid_, &plan_, c_}; }
+
   dist_config cfg_;
   tiling tiling_;
   ownership_map own_;
@@ -116,14 +131,15 @@ class dist_solver {
   nonlocal::stencil stencil_;
   double c_;
   double dt_;
-  nonlocal::manufactured_problem problem_;
+  nonlocal::stencil_plan plan_;
+  std::shared_ptr<const api::scenario> scenario_;
 
   net::comm_world comm_;
   std::vector<std::unique_ptr<amt::thread_pool>> pools_;
   std::vector<std::unique_ptr<sd_block>> blocks_;
   std::vector<std::vector<double>> lu_;  ///< per-SD L_h[u] scratch (padded)
-  std::vector<double> w_field_;          ///< w(t_k, .) on the global grid
-  std::vector<double> b_field_;          ///< manufactured source scratch
+  std::vector<double> w_field_;          ///< scenario aux field (global grid)
+  std::vector<double> b_field_;          ///< scenario source scratch
 
   int step_ = 0;
   std::atomic<std::uint64_t> ghost_bytes_{0};

@@ -1,17 +1,21 @@
 #include "nonlocal/serial_solver.hpp"
 
+#include "nonlocal/nonlocal_operator.hpp"
 #include "support/assert.hpp"
 
 namespace nlh::nonlocal {
 
-serial_solver::serial_solver(const solver_config& cfg)
+serial_solver::serial_solver(const solver_config& cfg,
+                             std::shared_ptr<const api::scenario> scn)
     : cfg_(cfg),
       grid_(cfg.n, cfg.epsilon_factor / cfg.n),
       J_(cfg.kind),
       stencil_(grid_, J_),
       c_(J_.scaling_constant(2, cfg.conductivity, grid_.epsilon())),
       dt_(cfg.dt > 0.0 ? cfg.dt : cfg.dt_safety * stable_dt(c_, stencil_)),
-      problem_(grid_, stencil_, c_),
+      plan_(stencil_),
+      scenario_(scn ? std::move(scn)
+                    : std::make_shared<const api::manufactured_scenario>()),
       u_(grid_.make_field()),
       lu_(grid_.make_field()),
       w_scratch_(grid_.make_field()),
@@ -22,7 +26,7 @@ serial_solver::serial_solver(const solver_config& cfg)
 void serial_solver::set_initial_condition() {
   for (int i = 0; i < grid_.n(); ++i)
     for (int j = 0; j < grid_.n(); ++j)
-      u_[grid_.flat(i, j)] = manufactured_problem::u0(grid_.x(j), grid_.y(i));
+      u_[grid_.flat(i, j)] = scenario_->initial(grid_.x(j), grid_.y(i));
 }
 
 void serial_solver::set_field(std::vector<double> u) {
@@ -35,15 +39,13 @@ void serial_solver::eval_rhs(double t, const std::vector<double>& u,
   NLH_ASSERT(u.size() == grid_.total() && out.size() == grid_.total());
   const dp_rect all{0, grid_.n(), 0, grid_.n()};
 
-  // b(t) manufactured at the discrete level from w(t).
-  for (int i = 0; i < grid_.n(); ++i)
-    for (int j = 0; j < grid_.n(); ++j)
-      w_scratch_[grid_.flat(i, j)] =
-          manufactured_problem::w(t, grid_.x(j), grid_.y(i));
-  problem_.source_into(t, w_scratch_, b_scratch_, all);
+  // b(t) through the scenario (manufactured: b = dw/dt - L_h[w] at the
+  // discrete level, with w precomputed into the aux scratch).
+  scenario_->fill_aux(context(), t, all, w_scratch_);
+  scenario_->source_into(context(), t, w_scratch_, all, b_scratch_);
 
   // out = L_h u + b.
-  apply_nonlocal_operator(grid_, problem_.kernel_plan(), c_, u, out, all);
+  apply_nonlocal_operator(grid_, plan_, c_, u, out, all);
   for (int i = 0; i < grid_.n(); ++i)
     for (int j = 0; j < grid_.n(); ++j) {
       const auto idx = grid_.flat(i, j);
@@ -103,19 +105,32 @@ void serial_solver::step(int step_index) {
   }
 }
 
+std::vector<double> serial_solver::exact_field(double t) const {
+  auto field = grid_.make_field();
+  for (int i = 0; i < grid_.n(); ++i)
+    for (int j = 0; j < grid_.n(); ++j)
+      field[grid_.flat(i, j)] = scenario_->exact(t, grid_.x(j), grid_.y(i));
+  return field;
+}
+
 solve_result serial_solver::run() {
   set_initial_condition();
+  const bool has_exact = scenario_->has_exact();
   error_accumulator acc;
   for (int k = 0; k < cfg_.num_steps; ++k) {
     step(k);
-    const auto exact = problem_.exact_field((k + 1) * dt_);
-    acc.add_step(error_ek(grid_, exact, u_));
+    if (has_exact) {
+      const auto exact = exact_field((k + 1) * dt_);
+      acc.add_step(error_ek(grid_, exact, u_));
+    }
   }
-  const auto exact = problem_.exact_field(cfg_.num_steps * dt_);
   solve_result res;
-  res.total_error_e = acc.total();
-  res.final_ek = error_ek(grid_, exact, u_);
-  res.max_relative_error = error_max_relative(grid_, exact, u_);
+  if (has_exact) {
+    const auto exact = exact_field(cfg_.num_steps * dt_);
+    res.total_error_e = acc.total();
+    res.final_ek = error_ek(grid_, exact, u_);
+    res.max_relative_error = error_max_relative(grid_, exact, u_);
+  }
   res.dt = dt_;
   res.steps = cfg_.num_steps;
   return res;

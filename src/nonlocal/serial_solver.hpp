@@ -8,10 +8,16 @@
 /// every distributed configuration is verified against (the distributed
 /// solver must reproduce it to FP round-off).
 ///
+/// The initial condition, source term and (optional) exact solution come
+/// from a pluggable api::scenario; the default is the manufactured problem
+/// of §3.2, which reproduces the historical hard-wired behaviour bitwise.
+///
 
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "api/scenario.hpp"
 #include "nonlocal/error.hpp"
 #include "nonlocal/grid2d.hpp"
 #include "nonlocal/influence.hpp"
@@ -41,7 +47,8 @@ struct solver_config {
   time_integrator integrator = time_integrator::forward_euler;
 };
 
-/// Per-run outputs.
+/// Per-run outputs. The error fields stay 0 when the scenario provides no
+/// exact solution.
 struct solve_result {
   double total_error_e = 0.0;     ///< sum_k e_k, paper eq. (7)
   double final_ek = 0.0;          ///< e_k at the final step
@@ -52,16 +59,18 @@ struct solve_result {
 
 class serial_solver {
  public:
-  explicit serial_solver(const solver_config& cfg);
+  /// \param scn the workload; null selects the manufactured scenario.
+  explicit serial_solver(const solver_config& cfg,
+                         std::shared_ptr<const api::scenario> scn = nullptr);
 
   const grid2d& grid() const { return grid_; }
   const stencil& interaction_stencil() const { return stencil_; }
-  const stencil_plan& kernel_plan() const { return problem_.kernel_plan(); }
+  const stencil_plan& kernel_plan() const { return plan_; }
   double scaling_constant() const { return c_; }
   double dt() const { return dt_; }
-  const manufactured_problem& problem() const { return problem_; }
+  const api::scenario& active_scenario() const { return *scenario_; }
 
-  /// Initialize u to the manufactured initial condition.
+  /// Initialize u to the scenario's initial condition.
   void set_initial_condition();
 
   /// Set a caller-provided initial field (padded layout).
@@ -69,25 +78,33 @@ class serial_solver {
   const std::vector<double>& field() const { return u_; }
 
   /// Advance one step of the configured integrator from time
-  /// t_k = step_index * dt using the manufactured source.
+  /// t_k = step_index * dt using the scenario's source.
   void step(int step_index);
 
   /// Evaluate the semi-discrete right-hand side f(t, u) = b(t) + L_h u into
   /// `out` (padded layout; interior entries written, collar untouched).
   void eval_rhs(double t, const std::vector<double>& u, std::vector<double>& out);
 
+  /// Scenario's exact solution on the padded interior at time t (collar 0).
+  /// Only valid when active_scenario().has_exact().
+  std::vector<double> exact_field(double t) const;
+
   /// Run `num_steps` steps from the initial condition, accumulating the
-  /// error against the manufactured solution after every step.
+  /// error against the scenario's exact solution after every step (error
+  /// fields stay 0 for scenarios without one).
   solve_result run();
 
  private:
+  api::scenario_context context() const { return {&grid_, &plan_, c_}; }
+
   solver_config cfg_;
   grid2d grid_;
   influence J_;
   stencil stencil_;
   double c_;
   double dt_;
-  manufactured_problem problem_;
+  stencil_plan plan_;
+  std::shared_ptr<const api::scenario> scenario_;
   std::vector<double> u_;
   std::vector<double> lu_;      ///< scratch: L_h[u]
   std::vector<double> w_scratch_;

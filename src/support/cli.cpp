@@ -1,6 +1,7 @@
 #include "support/cli.hpp"
 
 #include <cstdlib>
+#include <limits>
 
 namespace nlh::support {
 
@@ -32,12 +33,24 @@ std::string cli::get(const std::string& key, const std::string& def) const {
 
 int cli::get_int(const std::string& key, int def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::atoi(it->second.c_str());
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  // Malformed, trailing-garbage or out-of-range values keep the default
+  // instead of the silent 0 / truncated garbage std::atoi would produce.
+  if (end == it->second.c_str() || *end != '\0') return def;
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max())
+    return def;
+  return static_cast<int>(v);
 }
 
 double cli::get_double(const std::string& key, double def) const {
   const auto it = kv_.find(key);
-  return it == kv_.end() ? def : std::atof(it->second.c_str());
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') return def;
+  return v;
 }
 
 bool cli::get_bool(const std::string& key, bool def) const {

@@ -257,3 +257,17 @@ TEST(Cli, BoolParsing) {
   EXPECT_TRUE(c.get_bool("a", false));
   EXPECT_FALSE(c.get_bool("b", true));
 }
+
+TEST(Cli, MalformedNumbersKeepTheDefault) {
+  const char* argv[] = {"prog", "--n", "abc", "--eps", "0.5x", "--safety", "0.25"};
+  ns::cli c(7, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_int("n", 64), 64);             // not a number
+  EXPECT_DOUBLE_EQ(c.get_double("eps", 0.5), 0.5);  // trailing garbage
+  EXPECT_DOUBLE_EQ(c.get_double("safety", 0.5), 0.25);
+}
+
+TEST(Cli, DoubleParsesScientificNotation) {
+  const char* argv[] = {"prog", "--dt", "1e-4"};
+  ns::cli c(3, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(c.get_double("dt", 0.0), 1e-4);
+}
