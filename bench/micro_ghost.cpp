@@ -29,6 +29,25 @@ static void BM_StripPack(benchmark::State& state) {
 }
 BENCHMARK(BM_StripPack)->Arg(16)->Arg(50)->Arg(100)->Arg(200);
 
+static void BM_StripPackPooled(benchmark::State& state) {
+  // pack_into reuses the scratch vector's capacity: past the first
+  // iteration the pack path performs zero allocations (the ghost-strip
+  // pooling the dist_solver exchange uses) — compare against BM_StripPack.
+  const int sd_size = static_cast<int>(state.range(0));
+  const int ghost = 8;
+  dist::tiling t(2, 2, sd_size, ghost);
+  dist::sd_block b(t, 0);
+  for (int i = 0; i < sd_size; ++i)
+    for (int j = 0; j < sd_size; ++j) b.u()[b.flat(i, j)] = i + j;
+  std::vector<double> strip;
+  for (auto _ : state) {
+    b.pack_into(t, dist::direction::east, strip);
+    benchmark::DoNotOptimize(strip.data());
+  }
+  state.SetBytesProcessed(state.iterations() * sd_size * ghost * 8);
+}
+BENCHMARK(BM_StripPackPooled)->Arg(16)->Arg(50)->Arg(100)->Arg(200);
+
 static void BM_StripUnpack(benchmark::State& state) {
   const int sd_size = static_cast<int>(state.range(0));
   const int ghost = 8;
@@ -63,6 +82,43 @@ static void BM_LocalFillVsSerializedPath(benchmark::State& state) {
   state.SetLabel(direct ? "direct collar copy" : "pack+serialize+unpack");
 }
 BENCHMARK(BM_LocalFillVsSerializedPath)->Arg(1)->Arg(0);
+
+static void BM_SerializedExchangeAllocVsPooled(benchmark::State& state) {
+  // The full serialized exchange (pack -> archive -> unpack), fresh
+  // allocations per message (Arg 0, the pre-pooling dist_solver path)
+  // versus the pooled path (Arg 1): strip scratch reused on both ends and
+  // the serialized byte buffer recirculated the way the receive side
+  // releases it back to the senders. The delta is pure allocator traffic —
+  // the ROADMAP ghost-strip-pooling item made measurable.
+  const int sd_size = 50;
+  dist::tiling t(1, 2, sd_size, 8);
+  dist::sd_block a(t, 0), b(t, 1);
+  const bool pooled = state.range(0) == 1;
+  std::vector<double> pack_scratch, unpack_scratch;
+  net::byte_buffer recycled;
+  for (auto _ : state) {
+    if (pooled) {
+      a.pack_into(t, dist::direction::east, pack_scratch);
+      net::archive_writer w(std::move(recycled));
+      w.write(pack_scratch);
+      auto buf = w.take();
+      net::archive_reader r(buf);
+      r.read_vector_into(unpack_scratch);
+      b.unpack(t, dist::direction::west, unpack_scratch);
+      recycled = std::move(buf);  // back to the pool
+    } else {
+      net::archive_writer w;
+      w.write(a.pack(t, dist::direction::east));
+      const auto buf = w.take();
+      net::archive_reader r(buf);
+      b.unpack(t, dist::direction::west, r.read_vector<double>());
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetLabel(pooled ? "pooled buffers" : "fresh allocations");
+  state.SetBytesProcessed(state.iterations() * sd_size * 8 * 8);
+}
+BENCHMARK(BM_SerializedExchangeAllocVsPooled)->Arg(0)->Arg(1);
 
 static void BM_MailboxRoundTrip(benchmark::State& state) {
   net::comm_world world(2);

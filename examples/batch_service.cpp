@@ -1,0 +1,205 @@
+///
+/// \file batch_service.cpp
+/// \brief Multi-tenant service demo: sweep scenarios x kernel backends x
+/// execution modes concurrently through `nlh::api::batch_runner` over one
+/// shared AMT pool, then cross-check every serial/distributed pair for the
+/// per-job bitwise guarantee and report aggregate throughput.
+///
+/// Usage: batch_service [--n 32] [--eps-factor 2] [--steps 5] [--sd-grid 4]
+///                      [--nodes 2] [--pool-threads 4] [--cap 3]
+///                      [--policy fifo|priority] [--json PATH] [--soak]
+///
+/// `--soak` switches to the ROADMAP stress configuration — 16x16 SDs on 8
+/// localities for hundreds of steps, distributed jobs across every
+/// scenario x backend — which the nightly CI job runs, uploading the
+/// `--json` metrics file as an artifact.
+///
+/// Exit status: 0 when every job succeeded (and, in sweep mode, every
+/// serial/distributed pair agreed bitwise); 1 otherwise.
+///
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace api = nlh::api;
+
+namespace {
+
+/// Interior field of a finished job's session, keyed for pair matching.
+struct captured_field {
+  int n = 0;
+  std::vector<double> values;
+};
+
+double max_abs_diff(const nlh::nonlocal::grid2d& g, const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      m = std::max(m, std::abs(a[g.flat(i, j)] - b[g.flat(i, j)]));
+  return m;
+}
+
+void write_json(const std::string& path, const api::batch_metrics& agg,
+                const std::vector<api::batch_job_result>& results, bool soak) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "batch_service: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"mode\": \"" << (soak ? "soak" : "sweep") << "\",\n";
+  out << "  \"aggregate\": {\"jobs_submitted\": " << agg.jobs_submitted
+      << ", \"jobs_completed\": " << agg.jobs_completed
+      << ", \"jobs_failed\": " << agg.jobs_failed
+      << ", \"total_steps\": " << agg.total_steps
+      << ", \"ghost_bytes\": " << agg.ghost_bytes
+      << ", \"wall_seconds\": " << agg.wall_seconds
+      << ", \"jobs_per_second\": " << agg.jobs_per_second << "},\n";
+  out << "  \"jobs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"label\": \"" << r.label << "\", \"ok\": " << (r.ok ? "true" : "false")
+        << ", \"steps\": " << r.metrics.steps
+        << ", \"wall_seconds\": " << r.metrics.wall_seconds
+        << ", \"ghost_bytes\": " << r.metrics.ghost_bytes << ", \"backend\": \""
+        << r.metrics.kernel_backend << "\"}" << (i + 1 < results.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nlh::support::cli cli(argc, argv);
+  const bool soak = cli.get_bool("soak", false);
+
+  // Sweep defaults stay example-sized; --soak is the ROADMAP stress config
+  // (16x16 SDs, 8 localities, hundreds of steps).
+  const int n = cli.get_int("n", soak ? 128 : 32);
+  const int eps = cli.get_int("eps-factor", soak ? 4 : 2);
+  const int steps = cli.get_int("steps", soak ? 200 : 5);
+  const int sd_grid = cli.get_int("sd-grid", soak ? 16 : 4);
+  const int nodes = cli.get_int("nodes", soak ? 8 : 2);
+  const std::string json_path = cli.get("json", "");
+
+  api::batch_options bopt;
+  bopt.pool_threads = static_cast<unsigned>(cli.get_int("pool-threads", 4));
+  bopt.max_concurrent_jobs = cli.get_int("cap", 3);
+  bopt.admission = cli.get("policy", "fifo") == "priority"
+                       ? api::admission_policy::priority
+                       : api::admission_policy::fifo;
+
+  const std::vector<std::string> scenarios = {"manufactured", "gaussian_pulse",
+                                              "lshape", "crack"};
+  const std::vector<std::string> backends = {"scalar", "row_run", "simd"};
+
+  // Captured interior fields for the bitwise cross-check (sweep mode only;
+  // the hook runs on pool workers, hence the mutex).
+  std::mutex fields_mu;
+  std::map<std::string, captured_field> fields;
+
+  std::vector<api::batch_job> jobs;
+  for (const auto& scn : scenarios)
+    for (const auto& backend : backends) {
+      for (const char* mode : {"serial", "distributed"}) {
+        if (soak && std::string(mode) == "serial") continue;  // soak is all-dist
+        api::batch_job job;
+        job.options.scenario = scn;
+        job.options.kernel_backend = backend;
+        job.options.n = n;
+        job.options.epsilon_factor = eps;
+        job.options.num_steps = steps;
+        job.options.sd_grid = sd_grid;
+        job.options.nodes = nodes;
+        job.options.mode = std::string(mode) == "serial"
+                               ? api::execution_mode::serial
+                               : api::execution_mode::distributed;
+        job.label = scn + "/" + backend + "/" + mode;
+        if (!soak) {
+          const std::string key = scn + "/" + backend + "/" + mode;
+          job.on_complete = [&fields_mu, &fields, key](api::session& s) {
+            captured_field f;
+            f.n = s.solver().grid().n();
+            f.values = s.solver().field();
+            std::lock_guard<std::mutex> lk(fields_mu);
+            fields[key] = std::move(f);
+          };
+        }
+        jobs.push_back(std::move(job));
+      }
+    }
+
+  std::cout << "batch_service: " << jobs.size() << " jobs (" << scenarios.size()
+            << " scenarios x " << backends.size() << " backends"
+            << (soak ? ", distributed soak" : " x 2 modes") << "), " << n << "x"
+            << n << " mesh, " << sd_grid << "x" << sd_grid << " SDs, " << nodes
+            << " localities, " << steps << " steps; cap "
+            << bopt.max_concurrent_jobs << " over " << bopt.pool_threads
+            << " pool threads\n\n";
+
+  api::batch_runner runner(bopt);
+  auto futures = runner.submit_all(std::move(jobs));
+
+  std::vector<api::batch_job_result> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+
+  nlh::support::table out({"job", "ok", "steps", "wall-s", "ghost-KiB", "backend"});
+  bool all_ok = true;
+  for (const auto& r : results) {
+    out.row()
+        .add(r.label)
+        .add(r.ok ? "yes" : ("FAIL: " + r.error))
+        .add(r.metrics.steps)
+        .add(r.metrics.wall_seconds, 3)
+        .add(static_cast<double>(r.metrics.ghost_bytes) / 1024.0, 1)
+        .add(r.metrics.kernel_backend);
+    all_ok = all_ok && r.ok;
+  }
+  out.print(std::cout);
+
+  // Per-job bitwise guarantee: every serial/distributed pair of one
+  // (scenario, backend) cell must agree exactly, even though all pairs ran
+  // interleaved with jobs pinned to other backends.
+  if (!soak) {
+    int pairs = 0, mismatches = 0;
+    const nlh::nonlocal::grid2d grid(n, static_cast<double>(eps) / n);
+    for (const auto& scn : scenarios)
+      for (const auto& backend : backends) {
+        const auto s = fields.find(scn + "/" + backend + "/serial");
+        const auto d = fields.find(scn + "/" + backend + "/distributed");
+        if (s == fields.end() || d == fields.end()) continue;
+        ++pairs;
+        const double diff = max_abs_diff(grid, s->second.values, d->second.values);
+        if (diff != 0.0) {
+          ++mismatches;
+          std::cout << "MISMATCH " << scn << "/" << backend
+                    << ": max |serial - distributed| = " << diff << "\n";
+        }
+      }
+    std::cout << "\nbitwise serial==distributed pairs: " << pairs - mismatches
+              << "/" << pairs << " exact\n";
+    all_ok = all_ok && mismatches == 0 && pairs > 0;
+  }
+
+  const auto agg = runner.aggregate();
+  std::cout << "aggregate: " << agg.jobs_completed << "/" << agg.jobs_submitted
+            << " jobs ok, " << agg.total_steps << " steps, "
+            << static_cast<double>(agg.ghost_bytes) / (1024.0 * 1024.0)
+            << " MiB ghost traffic, " << agg.wall_seconds << " s wall, "
+            << agg.jobs_per_second << " jobs/s\n";
+
+  if (!json_path.empty()) write_json(json_path, agg, results, soak);
+
+  return all_ok ? 0 : 1;
+}

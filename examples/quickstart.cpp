@@ -2,8 +2,9 @@
 /// \file quickstart.cpp
 /// \brief Smallest end-to-end use of the library, entirely through the
 /// `nlh::api::session` facade: solve the 2-D nonlocal heat equation with
-/// the serial and the distributed backend, compare the two fields and (for
-/// scenarios with an exact solution) the error against it.
+/// the serial and the distributed backend — both advanced concurrently via
+/// `run_async` futures — compare the two fields and (for scenarios with an
+/// exact solution) the error against it.
 ///
 /// Usage: quickstart [--n 64] [--eps-factor 4] [--steps 20] [--nodes 2]
 ///                   [--sd-grid 4] [--scenario manufactured] [--backend ""]
@@ -43,20 +44,25 @@ int main(int argc, char** argv) {
             << " localities\n\n";
 
   try {
-    // --- Serial reference -------------------------------------------------
+    // Two tenants in one process: the serial reference and the distributed
+    // solve on the same mesh (the session decomposes it into SDs,
+    // partitions the SD dual graph METIS-style and runs the asynchronous
+    // solver over in-process localities — the eight-step chain the
+    // examples used to hand-wire). Each session owns its kernel backend.
     opt.mode = nlh::api::execution_mode::serial;
     nlh::api::session serial(opt);
     auto& sref = serial.solver();
-    sref.run(opt.num_steps);
 
-    // --- Distributed solve on the same mesh -------------------------------
-    // The session decomposes the mesh into SDs, partitions the SD dual
-    // graph METIS-style and runs the asynchronous solver over in-process
-    // localities — the eight-step chain the examples used to hand-wire.
     opt.mode = nlh::api::execution_mode::distributed;
     nlh::api::session dist(opt);
     auto& dref = dist.solver();
-    dref.run(opt.num_steps);
+
+    // Futures-first stepping: both runs advance concurrently; get() joins
+    // and hands back the per-run metrics snapshot.
+    auto serial_done = sref.run_async(opt.num_steps);
+    auto dist_done = dref.run_async(opt.num_steps);
+    serial_done.get();
+    dist_done.get();
 
     const bool has_exact = serial.active_scenario().has_exact();
     nlh::support::table out({"solver", "dt", "max-rel-error", "ghost-KiB"});

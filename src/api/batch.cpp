@@ -1,0 +1,165 @@
+///
+/// \file batch.cpp
+/// \brief batch_runner implementation: admission queue (FIFO / priority),
+/// concurrency-capped execution on the shared pool, per-job result
+/// promises and aggregate metrics.
+///
+
+#include "api/batch.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace nlh::api {
+
+std::vector<std::string> validate(const batch_options& opt) {
+  std::vector<std::string> errs;
+  if (opt.pool_threads < 1)
+    errs.push_back("batch_options.pool_threads: the shared pool needs at least "
+                   "1 worker (got " +
+                   std::to_string(opt.pool_threads) + ")");
+  if (opt.max_concurrent_jobs < 1)
+    errs.push_back("batch_options.max_concurrent_jobs: must be at least 1 (got " +
+                   std::to_string(opt.max_concurrent_jobs) + ")");
+  if (opt.pool_threads >= 1 && opt.max_concurrent_jobs >= 1 &&
+      static_cast<unsigned>(opt.max_concurrent_jobs) > opt.pool_threads)
+    errs.push_back(
+        "batch_options.max_concurrent_jobs: cap " +
+        std::to_string(opt.max_concurrent_jobs) + " exceeds pool_threads " +
+        std::to_string(opt.pool_threads) +
+        "; every running job occupies one worker, so excess slots can never fill");
+  return errs;
+}
+
+namespace {
+
+batch_options validated(batch_options opt) {
+  const auto errs = validate(opt);
+  if (!errs.empty()) {
+    std::ostringstream msg;
+    msg << "invalid batch_options (" << errs.size() << " problem"
+        << (errs.size() > 1 ? "s" : "") << "):";
+    for (const auto& e : errs) msg << "\n  - " << e;
+    throw std::invalid_argument(msg.str());
+  }
+  return opt;
+}
+
+}  // namespace
+
+batch_runner::batch_runner(batch_options opt)
+    : opt_(validated(opt)), pool_(opt_.pool_threads) {}
+
+batch_runner::~batch_runner() { wait_all(); }
+
+amt::future<batch_job_result> batch_runner::submit(batch_job job) {
+  queued_job qj;
+  qj.job = std::move(job);
+  auto fut = qj.done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    qj.seq = next_seq_++;
+    if (qj.job.label.empty()) qj.job.label = "job-" + std::to_string(qj.seq);
+    if (!clock_started_) {
+      clock_started_ = true;
+      first_submit_ = std::chrono::steady_clock::now();
+    }
+    ++agg_.jobs_submitted;
+    queue_.push_back(std::move(qj));
+    pump_locked();
+  }
+  return fut;
+}
+
+std::vector<amt::future<batch_job_result>> batch_runner::submit_all(
+    std::vector<batch_job> jobs) {
+  std::vector<amt::future<batch_job_result>> futs;
+  futs.reserve(jobs.size());
+  for (auto& j : jobs) futs.push_back(submit(std::move(j)));
+  return futs;
+}
+
+void batch_runner::pump_locked() {
+  while (running_ < opt_.max_concurrent_jobs && !queue_.empty()) {
+    // FIFO admits the oldest; priority admits the highest priority, oldest
+    // among equals. The queue is small (pending jobs), so a linear scan
+    // beats maintaining a heap.
+    auto it = queue_.begin();
+    if (opt_.admission == admission_policy::priority)
+      it = std::min_element(queue_.begin(), queue_.end(),
+                            [](const queued_job& a, const queued_job& b) {
+                              if (a.job.priority != b.job.priority)
+                                return a.job.priority > b.job.priority;
+                              return a.seq < b.seq;
+                            });
+    queued_job qj = std::move(*it);
+    queue_.erase(it);
+    ++running_;
+    // unique_function is move-only-friendly, so the job rides the task.
+    pool_.post([this, qj = std::move(qj)]() mutable { execute(std::move(qj)); });
+  }
+}
+
+void batch_runner::execute(queued_job qj) {
+  batch_job_result res;
+  res.label = qj.job.label;
+  long long steps_done = 0;
+  try {
+    session s(qj.job.options);
+    auto& h = s.solver();
+    const int steps =
+        qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
+    h.run(steps);
+    if (qj.job.on_complete) qj.job.on_complete(s);
+    res.metrics = h.metrics();
+    res.ok = true;
+    steps_done = res.metrics.steps;
+  } catch (const std::exception& e) {
+    res.error = e.what();
+  } catch (...) {
+    res.error = "unknown exception";
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --running_;
+    if (res.ok) {
+      ++agg_.jobs_completed;
+      agg_.total_steps += steps_done;
+      agg_.ghost_bytes += res.metrics.ghost_bytes;
+    } else {
+      ++agg_.jobs_failed;
+    }
+    agg_.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - first_submit_)
+                            .count();
+    pump_locked();
+  }
+  idle_cv_.notify_all();
+  // Fulfill outside mu_: user continuations attached to the future run
+  // inline here and must be free to call back into the runner.
+  qj.done.set_value(std::move(res));
+}
+
+void batch_runner::wait_all() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
+}
+
+batch_metrics batch_runner::aggregate() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  batch_metrics m = agg_;
+  // A still-running batch reads "so far": agg_.wall_seconds is only
+  // stamped at job completions, so extend it to now while work remains.
+  if (clock_started_ && (running_ > 0 || !queue_.empty()))
+    m.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - first_submit_)
+                         .count();
+  if (m.wall_seconds > 0.0)
+    m.jobs_per_second = static_cast<double>(m.jobs_completed) / m.wall_seconds;
+  return m;
+}
+
+}  // namespace nlh::api

@@ -1,0 +1,148 @@
+#pragma once
+///
+/// \file batch.hpp
+/// \brief `batch_runner`: many session jobs multiplexed over one shared
+/// AMT thread pool — the multi-tenant service layer of the facade
+/// (docs/api.md).
+///
+/// Each `batch_job` is a complete run description (session_options +
+/// step budget); `submit` returns an `amt::future<batch_job_result>`
+/// immediately. Jobs wait in an admission queue (FIFO or priority order)
+/// and at most `batch_options::max_concurrent_jobs` of them execute at a
+/// time on the shared pool, each building its own `session` — so jobs
+/// with different scenarios, kernel backends and execution modes run
+/// concurrently in one process, each keeping its bitwise guarantees
+/// (per-session backends, `tests/batch_test.cpp`). Aggregate throughput
+/// metrics (jobs/sec, wall, ghost bytes) accumulate as jobs complete.
+///
+/// Job failures (invalid options, scenario errors, anything thrown while
+/// stepping) are captured per job into `batch_job_result::error` — one
+/// bad tenant never takes down the batch or the pool.
+///
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "amt/future.hpp"
+#include "amt/thread_pool.hpp"
+#include "api/session.hpp"
+
+namespace nlh::api {
+
+/// One unit of batch work: a full session description plus scheduling
+/// metadata.
+struct batch_job {
+  session_options options;
+  /// Steps to advance; 0 = options.num_steps.
+  int num_steps = 0;
+  /// Larger runs earlier under admission_policy::priority (FIFO among
+  /// equal priorities); ignored under FIFO.
+  int priority = 0;
+  /// Identifier echoed into the result; empty = "job-<sequence>".
+  std::string label;
+  /// Optional hook run on the worker after the steps complete (and before
+  /// the result future resolves) with the job's live session — e.g. to
+  /// gather the field or compute error-vs-exact. Exceptions it throws fail
+  /// the job like any stepping error.
+  std::function<void(session&)> on_complete;
+};
+
+/// Outcome of one job; `metrics` is meaningful only when `ok`.
+struct batch_job_result {
+  std::string label;
+  bool ok = false;
+  std::string error;  ///< what() of the failure when !ok
+  runtime_metrics metrics;
+};
+
+/// How queued jobs are admitted when a concurrency slot frees up.
+enum class admission_policy {
+  fifo,      ///< strict submission order
+  priority,  ///< highest batch_job::priority first, FIFO among equals
+};
+
+struct batch_options {
+  /// Workers of the shared AMT pool. Each *running* job occupies one
+  /// worker for its whole duration, so keep pool_threads >=
+  /// max_concurrent_jobs (distributed jobs additionally spin their own
+  /// per-locality solver pools, as they do outside the batch).
+  unsigned pool_threads = 4;
+  /// Admission cap: jobs executing simultaneously.
+  int max_concurrent_jobs = 2;
+  admission_policy admission = admission_policy::fifo;
+};
+
+/// Aggregate counters over every job this runner has seen.
+struct batch_metrics {
+  int jobs_submitted = 0;
+  int jobs_completed = 0;  ///< finished OK
+  int jobs_failed = 0;
+  long long total_steps = 0;         ///< sum over completed jobs
+  std::uint64_t ghost_bytes = 0;     ///< sum over completed jobs
+  double wall_seconds = 0.0;         ///< first submit -> last completion
+  double jobs_per_second = 0.0;      ///< completed / wall_seconds
+};
+
+/// Validate `opt`, one actionable message per offence; empty = valid.
+std::vector<std::string> validate(const batch_options& opt);
+
+class batch_runner {
+ public:
+  /// Throws std::invalid_argument when validate(opt) reports problems.
+  explicit batch_runner(batch_options opt = {});
+  /// Waits for every submitted job (futures handed out stay valid — the
+  /// shared state outlives the runner).
+  ~batch_runner();
+
+  batch_runner(const batch_runner&) = delete;
+  batch_runner& operator=(const batch_runner&) = delete;
+
+  /// Queue one job; returns its result future immediately. Never throws
+  /// on job-level problems — those resolve into batch_job_result::error.
+  amt::future<batch_job_result> submit(batch_job job);
+
+  /// Queue many jobs at once (one admission-queue pass, same ordering
+  /// semantics as repeated submit calls).
+  std::vector<amt::future<batch_job_result>> submit_all(std::vector<batch_job> jobs);
+
+  /// Block until every submitted job has completed.
+  void wait_all();
+
+  /// Snapshot of the aggregate counters (safe any time; wall_seconds of a
+  /// still-running batch reads "so far").
+  batch_metrics aggregate() const;
+
+  const batch_options& options() const { return opt_; }
+  /// The shared pool (e.g. for co-scheduling caller work).
+  amt::thread_pool& pool() { return pool_; }
+
+ private:
+  struct queued_job {
+    batch_job job;
+    amt::promise<batch_job_result> done;
+    std::uint64_t seq = 0;  ///< FIFO tiebreak
+  };
+
+  /// Admit queued jobs while slots are free. Caller holds mu_.
+  void pump_locked();
+  /// Runs on a pool worker: build the session, step, fulfill the promise.
+  void execute(queued_job qj);
+
+  batch_options opt_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<queued_job> queue_;
+  int running_ = 0;
+  std::uint64_t next_seq_ = 0;
+  batch_metrics agg_;
+  bool clock_started_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  amt::thread_pool pool_;  ///< last member: joins before the state above dies
+};
+
+}  // namespace nlh::api

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "amt/async.hpp"
 #include "dist/dist_solver.hpp"
 #include "nonlocal/error.hpp"
 #include "nonlocal/kernel/backend.hpp"
@@ -23,75 +24,50 @@
 
 namespace nlh::api {
 
-// ----------------------------------------------------------- solver_handle --
+// ------------------------------------------------------------ solver_impl --
 
-solver_handle::solver_handle(std::shared_ptr<const scenario> scn)
-    : scenario_(std::move(scn)) {}
-
-void solver_handle::step() {
-  support::stopwatch sw;
-  do_step();
-  wall_seconds_ += sw.elapsed_s();
-  if (observer_) observer_(step_event{current_step(), current_step() * dt()});
-}
-
-void solver_handle::run(int steps) {
-  for (int k = 0; k < steps; ++k) step();
-}
-
-std::vector<double> solver_handle::exact_now() const {
-  if (!scenario_->has_exact())
-    throw std::logic_error("solver_handle: scenario '" + scenario_->name() +
-                           "' provides no exact solution; error-vs-exact metrics "
-                           "are unavailable (check active_scenario().has_exact())");
-  const auto& g = grid();
-  auto exact = g.make_field();
-  const double t = current_step() * dt();
-  for (int i = 0; i < g.n(); ++i)
-    for (int j = 0; j < g.n(); ++j)
-      exact[g.flat(i, j)] = scenario_->exact(t, g.x(j), g.y(i));
-  return exact;
-}
-
-double solver_handle::error_vs_exact() const {
-  return nonlocal::error_max_relative(grid(), exact_now(), field());
-}
-
-double solver_handle::error_ek_vs_exact() const {
-  return nonlocal::error_ek(grid(), exact_now(), field());
-}
-
-runtime_metrics solver_handle::metrics() const {
-  runtime_metrics m;
-  m.steps = current_step();
-  m.dt = dt();
-  m.wall_seconds = wall_seconds_;
-  m.ghost_bytes = ghost_bytes();
-  m.kernel_backend =
-      nonlocal::kernel_backend_name(nonlocal::kernel_default_backend());
-  return m;
-}
+/// Pure solver body behind the handle: one virtual per solver observable.
+/// The handle owns the threading (locks, driver, observer); implementations
+/// stay single-threaded and oblivious to it.
+class solver_impl {
+ public:
+  virtual ~solver_impl() = default;
+  virtual void do_step() = 0;
+  virtual const nonlocal::grid2d& grid() const = 0;
+  virtual std::vector<double> field() const = 0;
+  virtual double dt() const = 0;
+  virtual int current_step() const = 0;
+  virtual std::uint64_t ghost_bytes() const { return 0; }
+  virtual nonlocal::kernel_backend backend() const = 0;
+};
 
 namespace {
 
-/// solver_handle backed by the single-threaded reference solver.
-class serial_handle final : public solver_handle {
+/// The session's backend choice as the solver-config optional: pin when
+/// the option names one, follow the process default otherwise. Validation
+/// already rejected unknown names.
+std::optional<nonlocal::kernel_backend> resolve_backend(const session_options& o) {
+  if (o.kernel_backend.empty()) return std::nullopt;
+  return nonlocal::parse_kernel_backend(o.kernel_backend);
+}
+
+/// Body backed by the single-threaded reference solver.
+class serial_impl final : public solver_impl {
  public:
-  serial_handle(const session_options& opt, std::shared_ptr<const scenario> scn)
-      : solver_handle(scn), solver_(make_config(opt), std::move(scn)) {
+  serial_impl(const session_options& opt, std::shared_ptr<const scenario> scn)
+      : solver_(make_config(opt), std::move(scn)) {
     solver_.set_initial_condition();
   }
 
-  const nonlocal::grid2d& grid() const override { return solver_.grid(); }
-  std::vector<double> field() const override { return solver_.field(); }
-  double dt() const override { return solver_.dt(); }
-  int current_step() const override { return steps_; }
-
- protected:
   void do_step() override {
     solver_.step(steps_);
     ++steps_;
   }
+  const nonlocal::grid2d& grid() const override { return solver_.grid(); }
+  std::vector<double> field() const override { return solver_.field(); }
+  double dt() const override { return solver_.dt(); }
+  int current_step() const override { return steps_; }
+  nonlocal::kernel_backend backend() const override { return solver_.backend(); }
 
  private:
   static nonlocal::solver_config make_config(const session_options& o) {
@@ -104,6 +80,7 @@ class serial_handle final : public solver_handle {
     cfg.num_steps = o.num_steps;
     cfg.kind = o.kind;
     cfg.integrator = o.integrator;
+    cfg.backend = resolve_backend(o);
     return cfg;
   }
 
@@ -111,23 +88,22 @@ class serial_handle final : public solver_handle {
   int steps_ = 0;
 };
 
-/// solver_handle backed by the asynchronous distributed solver.
-class dist_handle final : public solver_handle {
+/// Body backed by the asynchronous distributed solver.
+class dist_impl final : public solver_impl {
  public:
-  dist_handle(const session_options& opt, std::shared_ptr<const scenario> scn,
-              const dist::ownership_map& own)
-      : solver_handle(scn), solver_(make_config(opt), own, std::move(scn)) {
+  dist_impl(const session_options& opt, std::shared_ptr<const scenario> scn,
+            const dist::ownership_map& own)
+      : solver_(make_config(opt), own, std::move(scn)) {
     solver_.set_initial_condition();
   }
 
+  void do_step() override { solver_.step(); }
   const nonlocal::grid2d& grid() const override { return solver_.grid(); }
   std::vector<double> field() const override { return solver_.gather(); }
   double dt() const override { return solver_.dt(); }
   int current_step() const override { return solver_.current_step(); }
   std::uint64_t ghost_bytes() const override { return solver_.ghost_bytes(); }
-
- protected:
-  void do_step() override { solver_.step(); }
+  nonlocal::kernel_backend backend() const override { return solver_.backend(); }
 
  private:
   static dist::dist_config make_config(const session_options& o) {
@@ -141,6 +117,7 @@ class dist_handle final : public solver_handle {
     cfg.kind = o.kind;
     cfg.threads_per_locality = o.threads_per_locality;
     cfg.overlap_communication = o.overlap_communication;
+    cfg.backend = resolve_backend(o);
     return cfg;
   }
 
@@ -150,6 +127,123 @@ class dist_handle final : public solver_handle {
 bool is_power_of_two(int v) { return v >= 1 && (v & (v - 1)) == 0; }
 
 }  // namespace
+
+// ----------------------------------------------------------- solver_handle --
+
+solver_handle::solver_handle(std::shared_ptr<const scenario> scn,
+                             std::unique_ptr<solver_impl> impl)
+    : scenario_(std::move(scn)), impl_(std::move(impl)) {}
+
+// Members are destroyed in reverse declaration order: driver_ first, whose
+// thread_pool destructor drains queued async steps while impl_ is still
+// alive — the join is structural, no per-implementation cleanup needed.
+solver_handle::~solver_handle() = default;
+
+runtime_metrics solver_handle::run_steps(int num_steps) {
+  if (num_steps < 0)
+    throw std::invalid_argument(
+        "solver_handle: the number of steps must be non-negative (got " +
+        std::to_string(num_steps) + ")");
+  std::lock_guard<std::recursive_mutex> step_lk(step_mu_);
+  for (int k = 0; k < num_steps; ++k) {
+    support::stopwatch sw;
+    impl_->do_step();
+    step_observer cb;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      wall_seconds_ += sw.elapsed_s();
+      cb = observer_;  // copy: set_observer may swap it mid-run
+    }
+    if (cb) cb(step_event{impl_->current_step(), impl_->current_step() * dt()});
+  }
+  return metrics_locked();
+}
+
+amt::thread_pool& solver_handle::driver() {
+  std::lock_guard<std::mutex> lk(driver_mu_);
+  if (!driver_) driver_ = std::make_unique<amt::thread_pool>(1);
+  return *driver_;
+}
+
+void solver_handle::step() { run_steps(1); }
+
+void solver_handle::run(int steps) { run_steps(steps); }
+
+amt::future<runtime_metrics> solver_handle::step_async() { return run_async(1); }
+
+amt::future<runtime_metrics> solver_handle::run_async(int num_steps) {
+  return amt::async(driver(),
+                    [this, num_steps] { return run_steps(num_steps); });
+}
+
+void solver_handle::set_observer(step_observer cb) {
+  std::lock_guard<std::mutex> lk(state_mu_);
+  observer_ = std::move(cb);
+}
+
+const nonlocal::grid2d& solver_handle::grid() const { return impl_->grid(); }
+
+double solver_handle::dt() const { return impl_->dt(); }
+
+nonlocal::kernel_backend solver_handle::backend() const { return impl_->backend(); }
+
+std::vector<double> solver_handle::field() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return impl_->field();
+}
+
+int solver_handle::current_step() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return impl_->current_step();
+}
+
+std::uint64_t solver_handle::ghost_bytes() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return impl_->ghost_bytes();
+}
+
+std::vector<double> solver_handle::exact_now_locked() const {
+  if (!scenario_->has_exact())
+    throw std::logic_error("solver_handle: scenario '" + scenario_->name() +
+                           "' provides no exact solution; error-vs-exact metrics "
+                           "are unavailable (check active_scenario().has_exact())");
+  const auto& g = impl_->grid();
+  auto exact = g.make_field();
+  const double t = impl_->current_step() * impl_->dt();
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      exact[g.flat(i, j)] = scenario_->exact(t, g.x(j), g.y(i));
+  return exact;
+}
+
+double solver_handle::error_vs_exact() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return nonlocal::error_max_relative(impl_->grid(), exact_now_locked(),
+                                      impl_->field());
+}
+
+double solver_handle::error_ek_vs_exact() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return nonlocal::error_ek(impl_->grid(), exact_now_locked(), impl_->field());
+}
+
+runtime_metrics solver_handle::metrics_locked() const {
+  runtime_metrics m;
+  m.steps = impl_->current_step();
+  m.dt = impl_->dt();
+  {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    m.wall_seconds = wall_seconds_;
+  }
+  m.ghost_bytes = impl_->ghost_bytes();
+  m.kernel_backend = nonlocal::kernel_backend_name(impl_->backend());
+  return m;
+}
+
+runtime_metrics solver_handle::metrics() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return metrics_locked();
+}
 
 // ---------------------------------------------------------------- session --
 
@@ -317,13 +411,9 @@ session::session(session_options opt) : opt_(std::move(opt)) {
     throw std::invalid_argument(msg.str());
   }
 
-  // Explicit backend choice wins over the (deprecated) NLH_KERNEL_BACKEND
-  // environment side-channel; an empty field keeps the process default,
-  // which still honors the env as a fallback.
-  if (!opt_.kernel_backend.empty())
-    nonlocal::set_kernel_default_backend(
-        *nonlocal::parse_kernel_backend(opt_.kernel_backend));
-
+  // The backend choice is applied per solver (the handle pins its
+  // stencil_plan at construction) — never to the process default — so
+  // sessions with different backends coexist in one process.
   if (opt_.mode == execution_mode::distributed) build_distribution();
 }
 
@@ -409,10 +499,13 @@ void session::build_distribution() {
 
 solver_handle& session::solver() {
   if (!solver_) {
+    std::unique_ptr<solver_impl> impl;
     if (opt_.mode == execution_mode::serial)
-      solver_ = std::make_unique<serial_handle>(opt_, scenario_);
+      impl = std::make_unique<serial_impl>(opt_, scenario_);
     else
-      solver_ = std::make_unique<dist_handle>(opt_, scenario_, *own_);
+      impl = std::make_unique<dist_impl>(opt_, scenario_, *own_);
+    // The handle constructor is private (friended); not make_unique-able.
+    solver_.reset(new solver_handle(scenario_, std::move(impl)));
   }
   return *solver_;
 }

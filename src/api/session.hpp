@@ -14,14 +14,26 @@
 /// bitwise guarantee holds per kernel backend through the facade exactly
 /// as it does for the hand-wired layers.
 ///
+/// The facade is futures-first and multi-tenant: `step_async`/`run_async`
+/// return `amt::future<runtime_metrics>` driven by a per-handle driver
+/// thread (the blocking `step`/`run` are thin wrappers over the same
+/// stepping body), and the kernel backend is owned *per session* — the
+/// solver's stencil_plan is pinned at construction, never a process
+/// global — so sessions with different backends run concurrently in one
+/// process, each bitwise equal to its solo run. `api/batch.hpp` builds a
+/// multi-job service on top of this.
+///
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "amt/future.hpp"
+#include "amt/thread_pool.hpp"
 #include "api/scenario.hpp"
 #include "dist/domain_mask.hpp"
 #include "dist/ownership.hpp"
@@ -75,10 +87,12 @@ struct session_options {
   partition_strategy partitioner = partition_strategy::multilevel;
 
   // --- Kernel backend ------------------------------------------------------
-  /// "scalar", "row_run" or "simd"; applied process-wide at session build.
-  /// Empty = keep the process default (the NLH_KERNEL_BACKEND environment
-  /// variable is still honored as a fallback, but is deprecated in favor
-  /// of this field — see docs/api.md).
+  /// "scalar", "row_run" or "simd"; pins *this session's* kernel backend
+  /// (the solver's stencil_plan is pinned at construction — no process
+  /// global is touched, so sessions with different backends coexist).
+  /// Empty = follow the process default, which still resolves through the
+  /// deprecated NLH_KERNEL_BACKEND environment variable as a fallback
+  /// (see docs/api.md).
   std::string kernel_backend;
 };
 
@@ -87,42 +101,88 @@ struct step_event {
   int step = 0;   ///< completed steps so far (1 after the first step)
   double t = 0.0; ///< simulated time step * dt
 };
+
+/// Streaming per-step callback. Delivery contract (docs/api.md): events
+/// arrive strictly in step order and never concurrently — the handle
+/// serializes all stepping, blocking or async, behind one lock; the
+/// callback runs on whichever thread executes the step (the caller for
+/// `step`/`run`, the handle's driver thread for `step_async`/`run_async`).
+/// Inside the callback `current_step()`, `dt()`, `field()` and `metrics()`
+/// of the same handle are safe; calling `step*`/`run*` on it is not.
 using step_observer = std::function<void(const step_event&)>;
 
 /// Runtime counters of one solver_handle.
 struct runtime_metrics {
   int steps = 0;                 ///< completed steps
   double dt = 0.0;
-  double wall_seconds = 0.0;     ///< wall time spent inside step()
+  double wall_seconds = 0.0;     ///< wall time spent stepping
   std::uint64_t ghost_bytes = 0; ///< serialized ghost traffic (0 serial)
-  std::string kernel_backend;    ///< resolved process-wide backend name
+  std::string kernel_backend;    ///< this handle's resolved backend name
 };
 
-/// Polymorphic handle over the serial / distributed solver: stepping,
-/// field access, error-vs-exact, per-step observer and runtime metrics.
+/// Internal polymorphic solver body (serial / distributed); defined in
+/// session.cpp. The public solver_handle owns one by composition, so the
+/// async machinery (driver thread, locks) lives in exactly one place and
+/// destruction order — driver joined before the body dies — is enforced
+/// by member order, not by per-subclass convention.
+class solver_impl;
+
+/// Handle over the serial / distributed solver: futurized stepping, field
+/// access, error-vs-exact, streaming per-step observer and runtime
+/// metrics.
+///
+/// Threading: `step_async`/`run_async` hand the work to a lazily created
+/// single-thread driver owned by the handle and return immediately; all
+/// stepping (async or blocking) is serialized behind one internal lock, so
+/// concurrent submissions queue rather than race, and submissions from one
+/// thread execute in submission order. Readers that touch solver state
+/// (`field()`, `current_step()`, `ghost_bytes()`, `error_vs_exact()`,
+/// `metrics()`) take the same lock: they are safe from any thread while an
+/// async run is in flight, but block until the in-flight chunk (one whole
+/// `run_async(n)` submission) completes — wait on the returned future
+/// when you need the read without the stall. The lock is reentrant from
+/// the observer callback. All futures returned by `*_async` must be
+/// waited on (or the owning session kept alive) before the session is
+/// destroyed; destruction drains the driver.
 class solver_handle {
  public:
-  virtual ~solver_handle() = default;
+  ~solver_handle();
   solver_handle(const solver_handle&) = delete;
   solver_handle& operator=(const solver_handle&) = delete;
 
-  /// Advance one timestep, then notify the observer (if any).
+  /// Advance one timestep, then notify the observer (if any). Thin
+  /// blocking wrapper over the same stepping body the futures use.
   void step();
-  /// Advance `steps` timesteps.
+  /// Advance `steps` timesteps (blocking wrapper).
   void run(int steps);
 
-  virtual const nonlocal::grid2d& grid() const = 0;
+  /// Futurized single step: resolves to the metrics snapshot after the
+  /// step completes. Equivalent to run_async(1).
+  amt::future<runtime_metrics> step_async();
+  /// Futurized multi-step: queue `num_steps` steps on the handle's driver
+  /// thread and resolve to the metrics snapshot after the last one.
+  /// Exceptions thrown while stepping propagate through the future.
+  amt::future<runtime_metrics> run_async(int num_steps);
+
+  /// The padded grid (immutable after construction; lock-free).
+  const nonlocal::grid2d& grid() const;
   /// The global padded field (distributed: assembled from all SD blocks).
-  virtual std::vector<double> field() const = 0;
+  std::vector<double> field() const;
   /// Synonym for field() mirroring dist_solver::gather().
   std::vector<double> gather() const { return field(); }
-  virtual double dt() const = 0;
-  virtual int current_step() const = 0;
+  /// Timestep (immutable after construction; lock-free).
+  double dt() const;
+  int current_step() const;
   /// Serialized ghost-strip traffic so far; 0 for the serial backend.
-  virtual std::uint64_t ghost_bytes() const { return 0; }
+  std::uint64_t ghost_bytes() const;
+  /// Kernel backend every DP update of this handle dispatches to — owned
+  /// by this session's solver, independent of other sessions.
+  nonlocal::kernel_backend backend() const;
 
   const scenario& active_scenario() const { return *scenario_; }
-  void set_observer(step_observer cb) { observer_ = std::move(cb); }
+  /// Install (or clear, with nullptr) the streaming observer; picked up by
+  /// the next step. Safe to call while an async run is in flight.
+  void set_observer(step_observer cb);
 
   /// Max-relative error (Fig. 8 axis) of the current field against the
   /// scenario's exact solution at the current time. Throws
@@ -133,16 +193,31 @@ class solver_handle {
 
   runtime_metrics metrics() const;
 
- protected:
-  explicit solver_handle(std::shared_ptr<const scenario> scn);
-  virtual void do_step() = 0;
-
  private:
-  std::vector<double> exact_now() const;
+  friend class session;
+  solver_handle(std::shared_ptr<const scenario> scn,
+                std::unique_ptr<solver_impl> impl);
+
+  /// Caller holds step_mu_.
+  std::vector<double> exact_now_locked() const;
+  runtime_metrics metrics_locked() const;
+  /// The one stepping body behind step/run/step_async/run_async: serialize
+  /// behind step_mu_, advance, account wall time, stream observer events.
+  runtime_metrics run_steps(int num_steps);
+  amt::thread_pool& driver();
 
   std::shared_ptr<const scenario> scenario_;
+  std::unique_ptr<solver_impl> impl_;
+  /// Serializes stepping and solver-state readers; recursive so the
+  /// observer callback (invoked under it) may call the readers.
+  mutable std::recursive_mutex step_mu_;
+  mutable std::mutex state_mu_;  ///< guards observer_ and wall_seconds_
   step_observer observer_;
   double wall_seconds_ = 0.0;
+  std::mutex driver_mu_;
+  /// Lazy single-thread driver. Declared after impl_: destroyed first, so
+  /// in-flight async tasks drain while the solver body is still alive.
+  std::unique_ptr<amt::thread_pool> driver_;
 };
 
 /// The facade. Construction validates the options (throwing

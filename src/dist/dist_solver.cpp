@@ -131,6 +131,31 @@ dist_solver::dist_solver(const dist_config& cfg, ownership_map own,
         static_cast<std::size_t>(blocks_.back()->stride()) * blocks_.back()->stride(),
         0.0);
   }
+  pack_scratch_.resize(static_cast<std::size_t>(tiling_.num_sds()));
+  unpack_scratch_.resize(static_cast<std::size_t>(tiling_.num_sds()));
+
+  if (cfg_.backend) plan_.set_backend(*cfg_.backend);
+}
+
+net::byte_buffer dist_solver::acquire_buffer() {
+  std::lock_guard<std::mutex> lk(buffer_pool_mu_);
+  if (buffer_pool_.empty()) return {};
+  auto buf = std::move(buffer_pool_.back());
+  buffer_pool_.pop_back();
+  return buf;
+}
+
+void dist_solver::release_buffer(net::byte_buffer buf) {
+  std::lock_guard<std::mutex> lk(buffer_pool_mu_);
+  buffer_pool_.push_back(std::move(buf));
+}
+
+void dist_solver::unpack_ghost(int sd, direction d, net::byte_buffer buf) {
+  auto& strip = unpack_scratch_[static_cast<std::size_t>(sd)];
+  net::archive_reader r(buf);
+  r.read_vector_into(strip);
+  blocks_[static_cast<std::size_t>(sd)]->unpack(tiling_, d, strip);
+  release_buffer(std::move(buf));
 }
 
 std::uint64_t dist_solver::ghost_tag(int step, int sd, direction d) const {
@@ -230,8 +255,12 @@ void dist_solver::step() {
       pending.push_back(amt::async(
           *pools_[static_cast<std::size_t>(src)],
           [this, sender_sd, src, dst, tag, pack_dir = opposite(dir)] {
-            net::archive_writer w;
-            w.write(blocks_[static_cast<std::size_t>(sender_sd)]->pack(tiling_, pack_dir));
+            auto& strip = pack_scratch_[static_cast<std::size_t>(sender_sd)]
+                                       [static_cast<std::size_t>(pack_dir)];
+            blocks_[static_cast<std::size_t>(sender_sd)]->pack_into(tiling_, pack_dir,
+                                                                    strip);
+            net::archive_writer w(acquire_buffer());
+            w.write(strip);
             auto buf = w.take();
             ghost_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
             comm_.send(src, dst, tag, std::move(buf));
@@ -246,13 +275,9 @@ void dist_solver::step() {
   if (!cfg_.overlap_communication) {
     // Bulk-synchronous baseline: drain every ghost before any compute.
     for (int sd = 0; sd < tiling_.num_sds(); ++sd)
-      for (std::size_t i = 0; i < futs[static_cast<std::size_t>(sd)].size(); ++i) {
-        const auto buf = futs[static_cast<std::size_t>(sd)][i].get();
-        net::archive_reader r(buf);
-        blocks_[static_cast<std::size_t>(sd)]->unpack(
-            tiling_, fut_dirs[static_cast<std::size_t>(sd)][i],
-            r.read_vector<double>());
-      }
+      for (std::size_t i = 0; i < futs[static_cast<std::size_t>(sd)].size(); ++i)
+        unpack_ghost(sd, fut_dirs[static_cast<std::size_t>(sd)][i],
+                     futs[static_cast<std::size_t>(sd)][i].get());
   }
 
   for (int sd = 0; sd < tiling_.num_sds(); ++sd) {
@@ -277,12 +302,8 @@ void dist_solver::step() {
         [this, sd, dirs = fut_dirs[static_cast<std::size_t>(sd)],
          strips = split.remote_strips,
          t_now](std::vector<amt::future<net::byte_buffer>> ready) {
-          for (std::size_t i = 0; i < ready.size(); ++i) {
-            const auto buf = ready[i].get();
-            net::archive_reader r(buf);
-            blocks_[static_cast<std::size_t>(sd)]->unpack(tiling_, dirs[i],
-                                                          r.read_vector<double>());
-          }
+          for (std::size_t i = 0; i < ready.size(); ++i)
+            unpack_ghost(sd, dirs[i], ready[i].get());
           for (const auto& rect : strips) compute_rect(sd, rect, t_now);
         }));
   }

@@ -19,13 +19,24 @@
 /// decomposition, ownership and thread count: every DP update reads the
 /// same double values through the same stencil entry order, whether its
 /// inputs arrived by collar copy or by message. Both solvers route the
-/// update through the same compiled stencil_plan and the process-wide
-/// kernel backend (docs/kernels.md), so the property holds per backend.
+/// update through one compiled stencil_plan that owns its kernel backend
+/// (pinned per solver via dist_config::backend, else the process
+/// default — docs/kernels.md), so the property holds per backend and
+/// solvers with different backends coexist in one process.
+///
+/// Ghost-strip pooling: the exchange path reuses its buffers across steps
+/// — per-(SD, direction) pack scratch, per-SD unpack scratch, and a free
+/// list recirculating serialized byte buffers from the receive side back
+/// to the senders — so steady-state stepping allocates nothing on the
+/// strip path (measured by bench/micro_ghost).
 ///
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +65,9 @@ struct dist_config {
   /// false = bulk-synchronous baseline: wait for every ghost before any
   /// compute. Same data exchanged, no communication hiding.
   bool overlap_communication = true;
+  /// Kernel backend this solver's plan is pinned to; nullopt keeps the
+  /// plan following the process default (the historical behaviour).
+  std::optional<nonlocal::kernel_backend> backend;
 };
 
 /// All validation failures of `cfg`, each naming the offending field
@@ -83,6 +97,10 @@ class dist_solver {
   double scaling_constant() const { return c_; }
   int current_step() const { return step_; }
   const api::scenario& active_scenario() const { return *scenario_; }
+  const nonlocal::stencil_plan& kernel_plan() const { return plan_; }
+  /// Backend every DP update of this solver dispatches to (the pinned one
+  /// when dist_config::backend was set, else the process default).
+  nonlocal::kernel_backend backend() const { return plan_.backend(); }
 
   /// Initialize every owned SD to the scenario's initial condition.
   void set_initial_condition();
@@ -121,6 +139,15 @@ class dist_solver {
   std::uint64_t ghost_tag(int step, int sd, direction d) const;
   std::uint64_t migration_tag(int sd) const;
 
+  /// Pop a recycled serialized-strip buffer (empty when the pool is dry);
+  /// the receive side returns consumed buffers through release_buffer, so
+  /// steady-state stepping stops allocating on the serialization path.
+  net::byte_buffer acquire_buffer();
+  void release_buffer(net::byte_buffer buf);
+  /// Decode `buf` into `sd`'s collar facing `d` (pooled scratch, no
+  /// allocation in steady state) and recycle the buffer.
+  void unpack_ghost(int sd, direction d, net::byte_buffer buf);
+
   api::scenario_context context() const { return {&grid_, &plan_, c_}; }
 
   dist_config cfg_;
@@ -140,6 +167,17 @@ class dist_solver {
   std::vector<std::vector<double>> lu_;  ///< per-SD L_h[u] scratch (padded)
   std::vector<double> w_field_;          ///< scenario aux field (global grid)
   std::vector<double> b_field_;          ///< scenario source scratch
+
+  // Pooled exchange buffers (ROADMAP ghost-strip pooling). Pack scratch is
+  // per (SD, direction): the per-step pack tasks of one SD target distinct
+  // directions, so rows never race. Unpack scratch is per SD: at most one
+  // task (the case-1 continuation, or the bulk-sync drain) fills an SD's
+  // collar at a time. Serialized byte buffers recirculate through a
+  // mutex-guarded free list.
+  std::vector<std::array<std::vector<double>, num_directions>> pack_scratch_;
+  std::vector<std::vector<double>> unpack_scratch_;
+  std::mutex buffer_pool_mu_;
+  std::vector<net::byte_buffer> buffer_pool_;
 
   int step_ = 0;
   std::atomic<std::uint64_t> ghost_bytes_{0};

@@ -74,13 +74,22 @@ class sd_block {
       for (int j = 0; j < size_; ++j) u_[flat(i, j)] = vals[k++];
   }
 
-  /// Row-major copy of the strip sent toward direction `d`.
-  std::vector<double> pack(const tiling& t, direction d) const {
+  /// Row-major copy of the strip sent toward direction `d`, written into a
+  /// caller-owned scratch vector: its capacity is reused across steps, so a
+  /// pooled exchange path allocates only on the first step (or never, once
+  /// warm — the ROADMAP ghost-strip-pooling item).
+  void pack_into(const tiling& t, direction d, std::vector<double>& strip) const {
     const auto r = t.send_rect(d);
-    std::vector<double> strip;
-    strip.reserve(static_cast<std::size_t>(r.area()));
+    strip.resize(static_cast<std::size_t>(r.area()));
+    std::size_t k = 0;
     for (int i = r.row_begin; i < r.row_end; ++i)
-      for (int j = r.col_begin; j < r.col_end; ++j) strip.push_back(u_[flat(i, j)]);
+      for (int j = r.col_begin; j < r.col_end; ++j) strip[k++] = u_[flat(i, j)];
+  }
+
+  /// Convenience allocating form of pack_into.
+  std::vector<double> pack(const tiling& t, direction d) const {
+    std::vector<double> strip;
+    pack_into(t, d, strip);
     return strip;
   }
 

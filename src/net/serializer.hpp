@@ -25,6 +25,15 @@ using byte_buffer = std::vector<std::byte>;
 /// Append-only encoder.
 class archive_writer {
  public:
+  archive_writer() = default;
+
+  /// Start from a recycled buffer: the contents are discarded but the
+  /// capacity is kept, so writers fed from a buffer pool (the ghost
+  /// exchange) stop hitting the allocator once the pool is warm.
+  explicit archive_writer(byte_buffer reuse) : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
   template <class T>
   void write(const T& v) {
     static_assert(std::is_trivially_copyable_v<T>, "write: non-POD needs an overload");
@@ -84,13 +93,21 @@ class archive_reader {
 
   template <class T>
   std::vector<T> read_vector() {
+    std::vector<T> v;
+    read_vector_into(v);
+    return v;
+  }
+
+  /// Decode into a caller-owned scratch vector, reusing its capacity — the
+  /// pooled receive path of the ghost exchange (no allocation once warm).
+  template <class T>
+  void read_vector_into(std::vector<T>& out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = static_cast<std::size_t>(read<std::uint64_t>());
     NLH_ASSERT_MSG(pos_ + n * sizeof(T) <= buf_.size(), "archive_reader: underrun");
-    std::vector<T> v(n);
-    if (n) std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
+    out.resize(n);
+    if (n) std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
-    return v;
   }
 
   std::size_t remaining() const { return buf_.size() - pos_; }

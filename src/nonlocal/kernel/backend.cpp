@@ -17,7 +17,18 @@ kernel_backend best_available_backend() {
 /// the atomic below.
 kernel_backend resolve_initial_backend() {
   if (const char* env = std::getenv("NLH_KERNEL_BACKEND")) {
-    if (const auto parsed = parse_kernel_backend(env)) return *parsed;
+    if (const auto parsed = parse_kernel_backend(env)) {
+      // Deliberately once per process (this resolver runs exactly once,
+      // from the function-local static below): the env var is a deprecated
+      // side channel; per-session selection goes through
+      // api::session_options::kernel_backend (docs/kernels.md).
+      std::fprintf(stderr,
+                   "nlh: NLH_KERNEL_BACKEND is deprecated; it still sets the "
+                   "process default (\"%s\") but per-session code should pass "
+                   "session_options::kernel_backend instead\n",
+                   env);
+      return *parsed;
+    }
     std::fprintf(stderr,
                  "nlh: ignoring invalid NLH_KERNEL_BACKEND=\"%s\" "
                  "(expected scalar, row_run or simd)\n",

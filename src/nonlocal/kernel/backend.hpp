@@ -11,11 +11,14 @@
 ///  - `simd`    — explicit AVX2/SSE2 intrinsics (falls back to row_run when
 ///                the binary or the CPU lacks the instructions).
 ///
-/// The default is resolved once per process: the NLH_KERNEL_BACKEND
-/// environment variable wins, then the CMake-configured
-/// NLH_KERNEL_DEFAULT_BACKEND_NAME, then the best available backend.
-/// All solvers route through the default, so serial and distributed runs
-/// keep their bitwise-agreement property as long as they share a backend.
+/// The process *default* is resolved once per process: the (deprecated,
+/// warned-once) NLH_KERNEL_BACKEND environment variable wins, then the
+/// CMake-configured NLH_KERNEL_DEFAULT_BACKEND_NAME, then the best
+/// available backend. The default is only a fallback: each solver owns a
+/// stencil_plan that may pin its own backend (per-session selection via
+/// api::session_options::kernel_backend), so sessions with different
+/// backends coexist in one process. Serial and distributed runs keep
+/// their bitwise-agreement property as long as they share a backend.
 ///
 
 #include <optional>
@@ -45,8 +48,8 @@ bool kernel_simd_available();
 /// 0 = portable fallback, 1 = SSE2, 2 = AVX2+FMA.
 int kernel_simd_compiled_level();
 
-/// Process-wide default backend used by the entry points that do not take
-/// an explicit backend argument.
+/// Process-wide default backend — what an *unpinned* stencil_plan resolves
+/// to at dispatch time (see stencil_plan::backend()).
 kernel_backend kernel_default_backend();
 
 /// Override the process-wide default (e.g. from bench/test CLI). Requests

@@ -17,10 +17,20 @@
 /// The plan is self-contained: it copies the canonical entry list (the
 /// scalar baseline walks it), so it never dangles on the source stencil.
 ///
+/// The plan is also the unit of backend ownership: a plan can be *pinned*
+/// to one kernel_backend, and the dispatching entry point
+/// (`apply_nonlocal_operator_raw` without an explicit backend argument)
+/// resolves through the plan. Unpinned plans follow the process default,
+/// which preserves the historical behaviour; pinned plans are what lets
+/// two sessions with different backends coexist in one process
+/// (docs/kernels.md).
+///
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "nonlocal/kernel/backend.hpp"
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::nonlocal {
@@ -59,12 +69,28 @@ class stencil_plan {
   /// Maximum |di| / |dj| over entries — the ghost width actually needed.
   int reach() const { return reach_; }
 
+  /// Pin this plan to `b`: every dispatch through the plan (the
+  /// no-backend-argument apply overloads) uses `b` regardless of the
+  /// process default. Owning solvers call this once at construction.
+  void set_backend(kernel_backend b) { backend_ = b; }
+  /// Back to following the process default (the construction state).
+  void clear_backend() { backend_.reset(); }
+  bool has_pinned_backend() const { return backend_.has_value(); }
+
+  /// The backend a dispatch through this plan resolves to: the pinned one,
+  /// else the process default at call time (so unpinned plans keep tracking
+  /// set_kernel_default_backend / NLH_KERNEL_BACKEND changes).
+  kernel_backend backend() const {
+    return backend_ ? *backend_ : kernel_default_backend();
+  }
+
  private:
   std::vector<stencil_entry> entries_;
   std::vector<stencil_run> runs_;
   std::vector<double> weights_;
   double weight_sum_ = 0.0;
   int reach_ = 0;
+  std::optional<kernel_backend> backend_;
 };
 
 /// Largest stable forward-Euler timestep for scaling constant c (same bound

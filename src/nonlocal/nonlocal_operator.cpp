@@ -48,8 +48,7 @@ void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int g
 void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
                                  const stencil_plan& plan, double c,
                                  const dp_rect& rect) {
-  apply_nonlocal_operator_raw(u, out, stride, ghost, plan, c, rect,
-                              kernel_default_backend());
+  apply_nonlocal_operator_raw(u, out, stride, ghost, plan, c, rect, plan.backend());
 }
 
 void apply_nonlocal_operator(const grid2d& grid, const stencil& st, double c,

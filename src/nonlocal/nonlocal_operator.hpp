@@ -58,12 +58,13 @@ void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int g
                                  const stencil_plan& plan, double c,
                                  const dp_rect& rect, kernel_backend backend);
 
-/// Same, using the process-wide default backend (kernel_default_backend()).
+/// Same, resolving the backend through the plan (`plan.backend()`): the
+/// plan's pinned backend when its owner set one, else the process default.
 void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int ghost,
                                  const stencil_plan& plan, double c,
                                  const dp_rect& rect);
 
-/// Padded-field wrapper over the plan entry point (default backend).
+/// Padded-field wrapper over the plan entry point (plan-resolved backend).
 void apply_nonlocal_operator(const grid2d& grid, const stencil_plan& plan, double c,
                              const std::vector<double>& u, std::vector<double>& out,
                              const dp_rect& rect);

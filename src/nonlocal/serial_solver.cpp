@@ -21,6 +21,7 @@ serial_solver::serial_solver(const solver_config& cfg,
       w_scratch_(grid_.make_field()),
       b_scratch_(grid_.make_field()) {
   NLH_ASSERT(cfg.num_steps >= 1);
+  if (cfg.backend) plan_.set_backend(*cfg.backend);
 }
 
 void serial_solver::set_initial_condition() {

@@ -15,6 +15,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "api/scenario.hpp"
@@ -45,6 +46,9 @@ struct solver_config {
   int num_steps = 20;
   influence_kind kind = influence_kind::constant;
   time_integrator integrator = time_integrator::forward_euler;
+  /// Kernel backend this solver's plan is pinned to; nullopt keeps the
+  /// plan following the process default (the historical behaviour).
+  std::optional<kernel_backend> backend;
 };
 
 /// Per-run outputs. The error fields stay 0 when the scenario provides no
@@ -66,6 +70,9 @@ class serial_solver {
   const grid2d& grid() const { return grid_; }
   const stencil& interaction_stencil() const { return stencil_; }
   const stencil_plan& kernel_plan() const { return plan_; }
+  /// Backend every DP update of this solver dispatches to (the pinned one
+  /// when solver_config::backend was set, else the process default).
+  kernel_backend backend() const { return plan_.backend(); }
   double scaling_constant() const { return c_; }
   double dt() const { return dt_; }
   const api::scenario& active_scenario() const { return *scenario_; }

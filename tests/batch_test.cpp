@@ -1,0 +1,332 @@
+// Tests for the scenario-registry error paths (unknown key, duplicate
+// registration, null factory, null custom_scenario fallbacks) and for
+// batch_runner: options validation, FIFO / priority admission under the
+// concurrency cap, per-job failure isolation, aggregate metrics, and the
+// headline property — a concurrent mixed scenario/backend/mode batch where
+// every serial/distributed pair of one (scenario, backend) cell agrees
+// bitwise even while tenants pinned to other backends run interleaved.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/batch.hpp"
+#include "api/session.hpp"
+
+namespace api = nlh::api;
+namespace nl = nlh::nonlocal;
+
+namespace {
+
+bool mentions(const std::vector<std::string>& errs, const std::string& needle) {
+  return std::any_of(errs.begin(), errs.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+double max_abs_diff(const nl::grid2d& g, const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double m = 0.0;
+  for (int i = 0; i < g.n(); ++i)
+    for (int j = 0; j < g.n(); ++j)
+      m = std::max(m, std::abs(a[g.flat(i, j)] - b[g.flat(i, j)]));
+  return m;
+}
+
+api::session_options small_options(const std::string& scenario) {
+  api::session_options opt;
+  opt.scenario = scenario;
+  opt.n = 16;
+  opt.epsilon_factor = 2;
+  opt.num_steps = 3;
+  opt.sd_grid = 2;
+  opt.nodes = 2;
+  return opt;
+}
+
+}  // namespace
+
+// ------------------------------------------------- registry error paths --
+
+TEST(RegistryErrors, UnknownKeyThrowsListingRegisteredScenarios) {
+  try {
+    api::make_scenario("no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no-such-scenario"), std::string::npos) << msg;
+    for (const char* builtin : {"crack", "gaussian_pulse", "lshape", "manufactured"})
+      EXPECT_NE(msg.find(builtin), std::string::npos) << msg;
+  }
+}
+
+TEST(RegistryErrors, DuplicateRegistrationReplacesTheFactory) {
+  api::register_scenario("dup_probe", [] {
+    return std::make_shared<const api::gaussian_pulse_scenario>(0.2, 0.2, 0.05);
+  });
+  // Same key again: last registration wins (documented replace semantics).
+  api::register_scenario("dup_probe", [] {
+    return std::make_shared<const api::manufactured_scenario>();
+  });
+  const auto scn = api::make_scenario("dup_probe");
+  EXPECT_EQ(scn->name(), "manufactured");
+  EXPECT_TRUE(scn->has_exact());
+  // The key appears once, not twice.
+  const auto names = api::scenario_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "dup_probe"), 1);
+}
+
+using RegistryDeathTest = ::testing::Test;
+
+TEST(RegistryDeathTest, NullFactoryAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(api::register_scenario("broken", api::scenario_factory{}),
+               "null factory");
+}
+
+TEST(RegistryDeathTest, EmptyNameAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  EXPECT_DEATH(api::register_scenario("", [] {
+                 return std::make_shared<const api::manufactured_scenario>();
+               }),
+               "empty name");
+}
+
+TEST(RegistryErrors, NullCustomScenarioFallsBackToTheRegistryKey) {
+  auto opt = small_options("gaussian_pulse");
+  opt.custom_scenario = nullptr;  // explicit null = "use the key" (the default)
+  api::session session(opt);
+  EXPECT_EQ(session.active_scenario().name(), "gaussian_pulse");
+
+  // Null custom scenario plus a bad key is a scenario validation error,
+  // not a crash on the null pointer.
+  opt.scenario = "definitely-unknown";
+  EXPECT_TRUE(mentions(api::session::validate(opt), "session_options.scenario"));
+  EXPECT_THROW(api::session{opt}, std::invalid_argument);
+}
+
+// -------------------------------------------------- batch_runner options --
+
+TEST(BatchOptions, ValidationNamesTheOffendingField) {
+  api::batch_options opt;
+  opt.pool_threads = 0;
+  opt.max_concurrent_jobs = 0;
+  const auto errs = api::validate(opt);
+  EXPECT_TRUE(mentions(errs, "batch_options.pool_threads"));
+  EXPECT_TRUE(mentions(errs, "batch_options.max_concurrent_jobs"));
+
+  opt = api::batch_options{};
+  opt.pool_threads = 2;
+  opt.max_concurrent_jobs = 4;  // cap can never fill
+  EXPECT_TRUE(mentions(api::validate(opt), "exceeds pool_threads"));
+
+  EXPECT_TRUE(api::validate(api::batch_options{}).empty());
+  EXPECT_THROW(api::batch_runner{opt}, std::invalid_argument);
+}
+
+// ------------------------------------------------------ admission order --
+
+TEST(BatchAdmission, FifoRunsJobsInSubmissionOrder) {
+  api::batch_options bopt;
+  bopt.pool_threads = 2;
+  bopt.max_concurrent_jobs = 1;  // serialize so completion order == admission
+  api::batch_runner runner(bopt);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&mu, &order](const std::string& label) {
+    return [&mu, &order, label](api::session&) {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(label);
+    };
+  };
+
+  std::vector<api::batch_job> jobs;
+  for (const char* label : {"first", "second", "third"}) {
+    api::batch_job j;
+    j.options = small_options("manufactured");
+    j.label = label;
+    j.on_complete = record(label);
+    jobs.push_back(std::move(j));
+  }
+  for (auto& f : runner.submit_all(std::move(jobs))) EXPECT_TRUE(f.get().ok);
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(BatchAdmission, PriorityAdmitsHighestFirstFifoAmongEquals) {
+  api::batch_options bopt;
+  bopt.pool_threads = 2;
+  bopt.max_concurrent_jobs = 1;
+  bopt.admission = api::admission_policy::priority;
+  api::batch_runner runner(bopt);
+
+  std::mutex mu;
+  std::vector<std::string> order;
+  auto record = [&mu, &order](const std::string& label) {
+    return [&mu, &order, label](api::session&) {
+      std::lock_guard<std::mutex> lk(mu);
+      order.push_back(label);
+    };
+  };
+
+  // The blocker occupies the only slot until we release it, so the later
+  // submissions are all queued when the admission decision happens —
+  // deterministic, no timing assumptions.
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  api::batch_job blocker;
+  blocker.options = small_options("manufactured");
+  blocker.label = "blocker";
+  blocker.on_complete = [released](api::session&) { released.wait(); };
+
+  auto make = [&](const char* label, int priority) {
+    api::batch_job j;
+    j.options = small_options("manufactured");
+    j.label = label;
+    j.priority = priority;
+    j.on_complete = record(label);
+    return j;
+  };
+
+  auto fb = runner.submit(std::move(blocker));
+  auto f_low = runner.submit(make("low", 0));
+  auto f_mid_a = runner.submit(make("mid-a", 3));
+  auto f_high = runner.submit(make("high", 7));
+  auto f_mid_b = runner.submit(make("mid-b", 3));
+  release.set_value();
+
+  for (auto* f : {&fb, &f_low, &f_mid_a, &f_high, &f_mid_b})
+    EXPECT_TRUE(f->get().ok);
+  EXPECT_EQ(order, (std::vector<std::string>{"high", "mid-a", "mid-b", "low"}));
+}
+
+// ------------------------------------------------- failures + aggregates --
+
+TEST(BatchRunner, JobFailuresAreIsolatedAndReported) {
+  api::batch_runner runner;
+
+  api::batch_job bad;
+  bad.options = small_options("manufactured");
+  bad.options.mode = api::execution_mode::distributed;
+  bad.options.n = 15;  // not divisible by sd_grid = 2
+  bad.label = "bad";
+
+  api::batch_job good;
+  good.options = small_options("manufactured");
+  good.label = "good";
+
+  auto fb = runner.submit(std::move(bad));
+  auto fg = runner.submit(std::move(good));
+
+  const auto rb = fb.get();
+  EXPECT_FALSE(rb.ok);
+  EXPECT_NE(rb.error.find("session_options.sd_grid"), std::string::npos) << rb.error;
+  const auto rg = fg.get();
+  EXPECT_TRUE(rg.ok);
+  EXPECT_EQ(rg.metrics.steps, 3);
+
+  const auto agg = runner.aggregate();
+  EXPECT_EQ(agg.jobs_submitted, 2);
+  EXPECT_EQ(agg.jobs_completed, 1);
+  EXPECT_EQ(agg.jobs_failed, 1);
+  EXPECT_EQ(agg.total_steps, 3);
+  EXPECT_GT(agg.jobs_per_second, 0.0);
+}
+
+TEST(BatchRunner, NumStepsOverridesSessionOptions) {
+  api::batch_runner runner;
+  api::batch_job j;
+  j.options = small_options("manufactured");  // options.num_steps = 3
+  j.num_steps = 5;
+  EXPECT_EQ(runner.submit(std::move(j)).get().metrics.steps, 5);
+}
+
+// ------------------------------------- concurrent mixed-backend batches --
+
+// The acceptance property through the batch layer: >= 8 jobs mixing
+// scenarios, kernel backends and execution modes run concurrently over the
+// shared pool, and every serial/distributed pair of one (scenario,
+// backend) cell still agrees bitwise.
+TEST(BatchRunner, ConcurrentMixedBackendJobsKeepTheBitwiseGuarantee) {
+  api::batch_options bopt;
+  bopt.pool_threads = 4;
+  bopt.max_concurrent_jobs = 4;
+  api::batch_runner runner(bopt);
+
+  const std::vector<std::string> scenarios = {"manufactured", "gaussian_pulse"};
+  const std::vector<std::string> backends = {"scalar", "row_run"};
+
+  std::mutex mu;
+  std::map<std::string, std::vector<double>> fields;
+
+  std::vector<api::batch_job> jobs;
+  for (const auto& scn : scenarios)
+    for (const auto& backend : backends)
+      for (const auto mode :
+           {api::execution_mode::serial, api::execution_mode::distributed}) {
+        api::batch_job j;
+        j.options = small_options(scn);
+        j.options.kernel_backend = backend;
+        j.options.mode = mode;
+        j.options.threads_per_locality = 2;
+        const std::string key =
+            scn + "/" + backend +
+            (mode == api::execution_mode::serial ? "/serial" : "/dist");
+        j.label = key;
+        j.on_complete = [&mu, &fields, key](api::session& s) {
+          auto f = s.solver().field();
+          std::lock_guard<std::mutex> lk(mu);
+          fields[key] = std::move(f);
+        };
+        jobs.push_back(std::move(j));
+      }
+  ASSERT_GE(jobs.size(), 8u);
+
+  for (auto& f : runner.submit_all(std::move(jobs))) {
+    const auto r = f.get();
+    EXPECT_TRUE(r.ok) << r.label << ": " << r.error;
+  }
+
+  const nl::grid2d grid(16, 2.0 / 16.0);
+  int pairs = 0;
+  for (const auto& scn : scenarios)
+    for (const auto& backend : backends) {
+      const auto& serial = fields.at(scn + "/" + backend + "/serial");
+      const auto& dist = fields.at(scn + "/" + backend + "/dist");
+      EXPECT_EQ(max_abs_diff(grid, serial, dist), 0.0)
+          << scn << "/" << backend << " pair diverged inside the batch";
+      ++pairs;
+    }
+  EXPECT_EQ(pairs, 4);
+
+  const auto agg = runner.aggregate();
+  EXPECT_EQ(agg.jobs_completed, 8);
+  EXPECT_EQ(agg.jobs_failed, 0);
+  EXPECT_EQ(agg.total_steps, 8 * 3);
+  EXPECT_GT(agg.ghost_bytes, 0u);
+}
+
+// Destroying the runner with jobs still queued must complete them (the
+// destructor waits) and every handed-out future must still resolve.
+TEST(BatchRunner, DestructorDrainsOutstandingJobs) {
+  std::vector<nlh::amt::future<api::batch_job_result>> futs;
+  {
+    api::batch_runner runner;
+    for (int k = 0; k < 4; ++k) {
+      api::batch_job j;
+      j.options = small_options("manufactured");
+      futs.push_back(runner.submit(std::move(j)));
+    }
+  }  // ~batch_runner waits
+  for (auto& f : futs) {
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_TRUE(f.get().ok);
+  }
+}
