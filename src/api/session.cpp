@@ -39,6 +39,10 @@ class solver_impl {
   virtual int current_step() const = 0;
   virtual std::uint64_t ghost_bytes() const { return 0; }
   virtual nonlocal::kernel_backend backend() const = 0;
+  /// Overlap observables (serial defaults: no exchange, nothing to hide).
+  virtual std::string overlap_schedule_name() const { return "serial"; }
+  virtual double comm_wait_seconds() const { return 0.0; }
+  virtual std::uint64_t overlap_early_tasks() const { return 0; }
 };
 
 namespace {
@@ -104,6 +108,14 @@ class dist_impl final : public solver_impl {
   int current_step() const override { return solver_.current_step(); }
   std::uint64_t ghost_bytes() const override { return solver_.ghost_bytes(); }
   nonlocal::kernel_backend backend() const override { return solver_.backend(); }
+  std::string overlap_schedule_name() const override {
+    return dist::overlap_schedule_name(solver_.schedule());
+  }
+  double comm_wait_seconds() const override { return solver_.stats().wait_seconds; }
+  std::uint64_t overlap_early_tasks() const override {
+    const auto s = solver_.stats();
+    return s.interior_early + s.strips_early;
+  }
 
  private:
   static dist::dist_config make_config(const session_options& o) {
@@ -117,6 +129,9 @@ class dist_impl final : public solver_impl {
     cfg.kind = o.kind;
     cfg.threads_per_locality = o.threads_per_locality;
     cfg.overlap_communication = o.overlap_communication;
+    // Validation already rejected unknown names.
+    if (const auto s = dist::parse_overlap_schedule(o.overlap_schedule))
+      cfg.schedule = *s;
     cfg.backend = resolve_backend(o);
     return cfg;
   }
@@ -237,6 +252,9 @@ runtime_metrics solver_handle::metrics_locked() const {
   }
   m.ghost_bytes = impl_->ghost_bytes();
   m.kernel_backend = nonlocal::kernel_backend_name(impl_->backend());
+  m.overlap_schedule = impl_->overlap_schedule_name();
+  m.comm_wait_seconds = impl_->comm_wait_seconds();
+  m.overlap_early_tasks = impl_->overlap_early_tasks();
   return m;
 }
 
@@ -346,6 +364,13 @@ std::vector<std::string> session::validate_resolved(const session_options& opt,
       std::ostringstream m;
       m << "session_options.threads_per_locality: must be at least 1 (got "
         << opt.threads_per_locality << ")";
+      err(m);
+    }
+    if (!dist::parse_overlap_schedule(opt.overlap_schedule)) {
+      std::ostringstream m;
+      m << "session_options.overlap_schedule: unknown schedule '"
+        << opt.overlap_schedule
+        << "'; valid: per_direction, coarse, bulk_sync";
       err(m);
     }
     if (opt.integrator != nonlocal::time_integrator::forward_euler) {

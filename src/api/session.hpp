@@ -84,6 +84,11 @@ struct session_options {
   int nodes = 2;     ///< localities
   int threads_per_locality = 1;
   bool overlap_communication = true;
+  /// Ghost-exchange schedule: "per_direction" (default — each case-1 strip
+  /// waits only on the ghost arrivals it reads), "coarse" (all of an SD's
+  /// strips gate on all of its ghosts) or "bulk_sync" (no hiding).
+  /// `overlap_communication = false` forces bulk_sync (docs/overlap.md).
+  std::string overlap_schedule = "per_direction";
   partition_strategy partitioner = partition_strategy::multilevel;
 
   // --- Kernel backend ------------------------------------------------------
@@ -118,6 +123,17 @@ struct runtime_metrics {
   double wall_seconds = 0.0;     ///< wall time spent stepping
   std::uint64_t ghost_bytes = 0; ///< serialized ghost traffic (0 serial)
   std::string kernel_backend;    ///< this handle's resolved backend name
+  /// Ghost-exchange schedule the solver executes ("serial" for the serial
+  /// backend; else "bulk_sync" / "coarse" / "per_direction").
+  std::string overlap_schedule;
+  /// Wall time the stepping thread spent blocked in the end-of-step drain,
+  /// waiting on ghost-dependent work (0 serial). High values mean
+  /// communication dominates and the overlap could not hide it.
+  double comm_wait_seconds = 0.0;
+  /// Compute tasks (case-2 interiors + case-1 strips) that finished while
+  /// at least one ghost message was still in flight — the direct evidence
+  /// of communication hiding (0 serial / bulk_sync).
+  std::uint64_t overlap_early_tasks = 0;
 };
 
 /// Internal polymorphic solver body (serial / distributed); defined in

@@ -5,15 +5,23 @@
 /// forward-Euler stepping on per-locality AMT thread pools with futurized
 /// ghost exchange over net::comm_world.
 ///
-/// Each timestep: same-locality collars are filled by direct copies;
+/// Each timestep executes a cached **step_plan** (docs/overlap.md),
+/// compiled once from (tiling, ownership) and invalidated only by
+/// migrate_sd/restore: same-locality collars are filled by direct copies;
 /// cross-locality strips travel as serialized byte buffers through the
-/// mailbox network. Case-2 interior rectangles compute immediately while
-/// the messages are in flight; case-1 boundary strips are continuations
-/// chained on the arrival futures (`when_all(ghosts).then(compute)`), so no
-/// worker ever idles on the network. Per-locality busy-time counters feed
-/// Algorithm 1, `migrate_sd` implements its migration primitive, and
-/// checkpoint/restore snapshots step counter, ownership and fields into a
-/// self-contained byte buffer.
+/// mailbox network, with pack/send tasks posted boundary-first so messages
+/// leave each locality before any compute is enqueued. Case-2 interior
+/// rectangles compute immediately while the messages are in flight; under
+/// the default per_direction schedule each case-1 strip is a continuation
+/// chained on exactly the ghost arrivals its epsilon-halo reads (side
+/// strips: one; corner strips: the two adjacent sides plus the diagonal),
+/// so an SD starts updating its north strip the moment the north ghost
+/// lands instead of waiting for the slowest of up to eight messages. The
+/// coarse schedule (`when_all(all ghosts).then(all strips)`, the PR-1
+/// behaviour) and the bulk_sync baseline remain selectable for ablation.
+/// Per-locality busy-time counters feed Algorithm 1, `migrate_sd`
+/// implements its migration primitive, and checkpoint/restore snapshots
+/// step counter, ownership and fields into a self-contained byte buffer.
 ///
 /// The solver reproduces the serial reference bitwise for every
 /// decomposition, ownership and thread count: every DP update reads the
@@ -44,6 +52,7 @@
 #include "api/scenario.hpp"
 #include "dist/ownership.hpp"
 #include "dist/sd_block.hpp"
+#include "dist/step_plan.hpp"
 #include "dist/tiling.hpp"
 #include "net/comm_world.hpp"
 #include "nonlocal/influence.hpp"
@@ -51,6 +60,22 @@
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::dist {
+
+/// Task schedule of the ghost exchange (docs/overlap.md).
+enum class overlap_schedule {
+  /// Drain every ghost before any compute — no communication hiding.
+  bulk_sync,
+  /// Case-2 overlaps; all of an SD's case-1 strips gate on when_all over
+  /// all of its ghosts (the PR-1 schedule, kept as the ablation baseline).
+  coarse,
+  /// Case-2 overlaps; each case-1 strip gates on exactly the ghost
+  /// arrivals its epsilon-halo reads (the default).
+  per_direction,
+};
+
+const char* overlap_schedule_name(overlap_schedule s);
+/// Parse "bulk_sync" / "coarse" / "per_direction"; nullopt on anything else.
+std::optional<overlap_schedule> parse_overlap_schedule(const std::string& name);
 
 struct dist_config {
   int sd_rows = 1;
@@ -63,8 +88,13 @@ struct dist_config {
   nonlocal::influence_kind kind = nonlocal::influence_kind::constant;
   int threads_per_locality = 1;
   /// false = bulk-synchronous baseline: wait for every ghost before any
-  /// compute. Same data exchanged, no communication hiding.
+  /// compute. Same data exchanged, no communication hiding. Kept for
+  /// backward compatibility; false forces `schedule = bulk_sync`.
   bool overlap_communication = true;
+  /// Which overlap schedule step() executes when overlap_communication is
+  /// true (see overlap_schedule; per_direction is the fastest and the
+  /// default, coarse and bulk_sync remain for ablation).
+  overlap_schedule schedule = overlap_schedule::per_direction;
   /// Kernel backend this solver's plan is pinned to; nullopt keeps the
   /// plan following the process default (the historical behaviour).
   std::optional<nonlocal::kernel_backend> backend;
@@ -75,6 +105,18 @@ struct dist_config {
 /// runs this and throws std::invalid_argument on the first build error,
 /// instead of asserting deep inside tiling.
 std::vector<std::string> validate(const dist_config& cfg);
+
+/// Cumulative overlap observables of one dist_solver (counted since
+/// construction; all schedules maintain them, so the same run can be
+/// compared across schedules). "Early" means the task finished while at
+/// least one of the current step's ghost messages was still in flight —
+/// the direct evidence that compute hid communication.
+struct overlap_stats {
+  std::uint64_t messages = 0;        ///< cross-locality ghost messages exchanged
+  std::uint64_t interior_early = 0;  ///< case-2 rect tasks that finished early
+  std::uint64_t strips_early = 0;    ///< case-1 strip tasks that finished early
+  double wait_seconds = 0.0;  ///< stepping thread blocked in the end-of-step drain
+};
 
 class dist_solver {
  public:
@@ -97,10 +139,10 @@ class dist_solver {
   double scaling_constant() const { return c_; }
   int current_step() const { return step_; }
   const api::scenario& active_scenario() const { return *scenario_; }
-  const nonlocal::stencil_plan& kernel_plan() const { return plan_; }
+  const nonlocal::stencil_plan& kernel_plan() const { return kernel_plan_; }
   /// Backend every DP update of this solver dispatches to (the pinned one
   /// when dist_config::backend was set, else the process default).
-  nonlocal::kernel_backend backend() const { return plan_.backend(); }
+  nonlocal::kernel_backend backend() const { return kernel_plan_.backend(); }
 
   /// Initialize every owned SD to the scenario's initial condition.
   void set_initial_condition();
@@ -116,6 +158,24 @@ class dist_solver {
   /// Bytes of serialized ghost strips sent since construction (excludes
   /// migration traffic).
   std::uint64_t ghost_bytes() const { return ghost_bytes_.load(); }
+
+  /// The schedule step() actually executes (bulk_sync when
+  /// overlap_communication was disabled, else dist_config::schedule).
+  overlap_schedule schedule() const {
+    return cfg_.overlap_communication ? cfg_.schedule : overlap_schedule::bulk_sync;
+  }
+
+  /// Snapshot of the cumulative overlap observables (see overlap_stats).
+  overlap_stats stats() const;
+
+  /// Times this SD has been migrated since construction — the epoch mixed
+  /// into migration tags so interleaved migrations of one SD can't
+  /// cross-deliver.
+  std::uint64_t migration_epoch(int sd) const;
+
+  /// The compiled schedule of the current (tiling, ownership) pair; compiled
+  /// lazily on the first step after construction/migration/restore.
+  const step_plan& plan();
 
   /// Busy-time fraction of one locality's pool since the last reset — the
   /// observable Algorithm 1 consumes.
@@ -135,8 +195,15 @@ class dist_solver {
  private:
   /// One forward-Euler update over a local-coordinate rectangle of `sd`.
   void compute_rect(int sd, const nonlocal::dp_rect& rect, double t_now);
+  /// compute_rect plus the early-completion accounting (`early` selects the
+  /// interior or strip counter).
+  void compute_rect_counted(int sd, const nonlocal::dp_rect& rect, double t_now,
+                            std::atomic<std::uint64_t>& early_counter);
 
-  std::uint64_t ghost_tag(int step, int sd, direction d) const;
+  /// Recompile the step plan when ownership changed (migration/restore).
+  void ensure_plan();
+
+  std::uint64_t ghost_tag(int step, std::uint64_t tag_base) const;
   std::uint64_t migration_tag(int sd) const;
 
   /// Pop a recycled serialized-strip buffer (empty when the pool is dry);
@@ -148,7 +215,7 @@ class dist_solver {
   /// allocation in steady state) and recycle the buffer.
   void unpack_ghost(int sd, direction d, net::byte_buffer buf);
 
-  api::scenario_context context() const { return {&grid_, &plan_, c_}; }
+  api::scenario_context context() const { return {&grid_, &kernel_plan_, c_}; }
 
   dist_config cfg_;
   tiling tiling_;
@@ -158,7 +225,7 @@ class dist_solver {
   nonlocal::stencil stencil_;
   double c_;
   double dt_;
-  nonlocal::stencil_plan plan_;
+  nonlocal::stencil_plan kernel_plan_;
   std::shared_ptr<const api::scenario> scenario_;
 
   net::comm_world comm_;
@@ -168,16 +235,42 @@ class dist_solver {
   std::vector<double> w_field_;          ///< scenario aux field (global grid)
   std::vector<double> b_field_;          ///< scenario source scratch
 
-  // Pooled exchange buffers (ROADMAP ghost-strip pooling). Pack scratch is
-  // per (SD, direction): the per-step pack tasks of one SD target distinct
-  // directions, so rows never race. Unpack scratch is per SD: at most one
-  // task (the case-1 continuation, or the bulk-sync drain) fills an SD's
-  // collar at a time. Serialized byte buffers recirculate through a
-  // mutex-guarded free list.
+  // Pooled exchange buffers (ROADMAP ghost-strip pooling). Pack and unpack
+  // scratch are both per (SD, direction): the per-step pack tasks of one SD
+  // target distinct directions, and under the per-direction schedule two
+  // ghosts of one SD may unpack concurrently — a per-SD unpack strip would
+  // race. Serialized byte buffers recirculate through a mutex-guarded free
+  // list.
   std::vector<std::array<std::vector<double>, num_directions>> pack_scratch_;
-  std::vector<std::vector<double>> unpack_scratch_;
+  std::vector<std::array<std::vector<double>, num_directions>> unpack_scratch_;
   std::mutex buffer_pool_mu_;
   std::vector<net::byte_buffer> buffer_pool_;
+
+  // The cached schedule plus its reusable per-step storage: future slots
+  // are sized once at plan compile and re-assigned in place each step, so
+  // steady-state stepping no longer rebuilds the futs/fut_dirs/pending
+  // vectors the pre-plan step() allocated every call.
+  step_plan plan_;
+  bool plan_dirty_ = true;
+  std::vector<amt::future<net::byte_buffer>> recv_slots_;  ///< per message
+  std::vector<amt::future<void>> ghost_ready_;  ///< per message: unpack done
+  std::vector<amt::future<void>> pending_;      ///< end-of-step drain set
+  std::vector<amt::future<void>> aux_pending_;  ///< scenario aux-field fills
+
+  /// Per-SD migration counter mixed into migration tags.
+  std::vector<std::uint64_t> migration_epoch_;
+
+  // Overlap observables (see overlap_stats). ghosts_inflight_ counts the
+  // current step's undelivered/unprocessed ghosts; compute tasks that
+  // finish while it is non-zero increment the early counters.
+  std::atomic<int> ghosts_inflight_{0};
+  std::atomic<std::uint64_t> stat_messages_{0};
+  std::atomic<std::uint64_t> stat_interior_early_{0};
+  std::atomic<std::uint64_t> stat_strips_early_{0};
+  /// Written only by the (serialized) stepping thread; atomic so stats()
+  /// snapshots from other threads (monitoring during an async run) are
+  /// race-free like the sibling counters.
+  std::atomic<double> wait_seconds_{0.0};
 
   int step_ = 0;
   std::atomic<std::uint64_t> ghost_bytes_{0};

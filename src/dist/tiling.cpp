@@ -52,4 +52,75 @@ case_split compute_case_split(const tiling& t, int sd, const std::vector<int>& o
   return split;
 }
 
+namespace {
+
+bool rects_intersect(const nonlocal::dp_rect& a, const nonlocal::dp_rect& b) {
+  return a.row_begin < b.row_end && b.row_begin < a.row_end &&
+         a.col_begin < b.col_end && b.col_begin < a.col_end;
+}
+
+}  // namespace
+
+std::vector<strip_dep> compute_fine_strips(const tiling& t, int sd,
+                                           const std::vector<int>& owner,
+                                           const std::vector<char>* active) {
+  NLH_ASSERT(static_cast<int>(owner.size()) == t.num_sds());
+  NLH_ASSERT(!active || static_cast<int>(active->size()) == t.num_sds());
+
+  const int me = owner[static_cast<std::size_t>(sd)];
+  bool remote[num_directions] = {};
+  bool remote_n = false, remote_s = false, remote_w = false, remote_e = false;
+  for (int d = 0; d < num_directions; ++d) {
+    const auto dir = static_cast<direction>(d);
+    const auto nb = t.neighbor(sd, dir);
+    if (!nb) continue;
+    if (active && !(*active)[static_cast<std::size_t>(*nb)]) continue;
+    if (owner[static_cast<std::size_t>(*nb)] == me) continue;
+    remote[d] = true;
+    const auto [dr, dc] = direction_offset(dir);
+    remote_n = remote_n || dr < 0;
+    remote_s = remote_s || dr > 0;
+    remote_w = remote_w || dc < 0;
+    remote_e = remote_e || dc > 0;
+  }
+
+  // The same clamped margins compute_case_split uses, so the fine strips
+  // tile exactly the coarse case-1 region.
+  const int s = t.sd_size();
+  const int g = t.ghost();
+  const int top = std::min(remote_n ? g : 0, s);
+  const int bottom = std::max(s - (remote_s ? g : 0), top);
+  const int left = std::min(remote_w ? g : 0, s);
+  const int right = std::max(s - (remote_e ? g : 0), left);
+
+  std::vector<strip_dep> out;
+  auto add = [&](int r0, int r1, int c0, int c1) {
+    const nonlocal::dp_rect r{r0, r1, c0, c1};
+    if (r.empty()) return;
+    strip_dep strip;
+    strip.rect = r;
+    // The strip's epsilon-halo: every DP it updates reads u over at most
+    // `ghost` cells beyond the rectangle in each direction.
+    const nonlocal::dp_rect halo{r.row_begin - g, r.row_end + g, r.col_begin - g,
+                                 r.col_end + g};
+    for (int d = 0; d < num_directions; ++d) {
+      if (!remote[d]) continue;
+      if (rects_intersect(halo, t.recv_rect(static_cast<direction>(d))))
+        strip.deps.push_back(static_cast<direction>(d));
+    }
+    out.push_back(std::move(strip));
+  };
+  // Sides first (the larger rectangles, typically one dependency each),
+  // then the corners (two adjacent sides + the diagonal when remote).
+  add(0, top, left, right);       // north side
+  add(bottom, s, left, right);    // south side
+  add(top, bottom, 0, left);      // west side
+  add(top, bottom, right, s);     // east side
+  add(0, top, 0, left);           // northwest corner
+  add(0, top, right, s);          // northeast corner
+  add(bottom, s, 0, left);        // southwest corner
+  add(bottom, s, right, s);       // southeast corner
+  return out;
+}
+
 }  // namespace nlh::dist

@@ -180,4 +180,26 @@ struct case_split {
 case_split compute_case_split(const tiling& t, int sd, const std::vector<int>& owner,
                               const std::vector<char>* active = nullptr);
 
+/// One fine-grained case-1 strip: an SD-local rectangle plus the exact set
+/// of cross-locality directions whose ghost data its epsilon-halo reads.
+/// `deps` empty means every value the strip touches is available locally at
+/// post time (same-locality collar fills) — such strips run with the case-2
+/// interior instead of waiting on any message.
+struct strip_dep {
+  nonlocal::dp_rect rect;
+  std::vector<direction> deps;  ///< remote directions, ascending enum order
+};
+
+/// Refine the case-1 region of `sd` into per-direction side and corner
+/// strips (paper §6.3 taken one level finer than compute_case_split): the
+/// returned rectangles tile exactly the same DPs as the coarse
+/// `remote_strips`, but each carries only the directions whose recv collar
+/// intersects its epsilon-halo. Side strips typically depend on one ghost;
+/// corner strips on the two adjacent sides plus the diagonal (when those
+/// are cross-locality). This is the dependency table the per-direction
+/// overlap schedule compiles into its step_plan.
+std::vector<strip_dep> compute_fine_strips(const tiling& t, int sd,
+                                           const std::vector<int>& owner,
+                                           const std::vector<char>* active = nullptr);
+
 }  // namespace nlh::dist

@@ -1,9 +1,25 @@
 #include "net/comm_world.hpp"
 
+#include <algorithm>
+
 #include "amt/counters.hpp"
 #include "support/assert.hpp"
 
 namespace nlh::net {
+
+namespace {
+
+/// Min-heap order on (deadline, send sequence): std::push_heap keeps the
+/// *greatest* element on top, so the "later" message compares smaller.
+struct delayed_later {
+  template <class M>
+  bool operator()(const M& a, const M& b) const {
+    if (a.due != b.due) return a.due > b.due;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
 
 comm_world::comm_world(int num_localities)
     : bytes_(static_cast<std::size_t>(num_localities) * num_localities),
@@ -25,7 +41,71 @@ void comm_world::send(int src, int dst, std::uint64_t tag, byte_buffer payload) 
   const auto idx = pair_index(src, dst);
   bytes_[idx].fetch_add(payload.size(), std::memory_order_relaxed);
   msgs_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (delay_enabled_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(delay_m_);
+    if (delay_model_) {
+      const double d = delay_model_(src, dst, tag);
+      if (d > 0.0) {
+        delayed_msg m;
+        m.due = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(d));
+        m.seq = delay_seq_++;
+        m.dst = dst;
+        m.src = src;
+        m.tag = tag;
+        m.payload = std::move(payload);
+        delayed_.push_back(std::move(m));
+        std::push_heap(delayed_.begin(), delayed_.end(), delayed_later{});
+        delay_cv_.notify_one();
+        return;
+      }
+    }
+  }
   boxes_[static_cast<std::size_t>(dst)]->deliver(src, tag, std::move(payload));
+}
+
+void comm_world::set_delay_model(delay_model model) {
+  std::lock_guard<std::mutex> lk(delay_m_);
+  delay_model_ = std::move(model);
+  if (delay_model_ && !timer_.joinable())
+    timer_ = std::thread([this] { timer_loop(); });
+  // Stays true once a model was ever installed (clearing mid-flight must
+  // keep send() checking delay_model_ under the lock).
+  if (delay_model_) delay_enabled_.store(true, std::memory_order_release);
+}
+
+std::size_t comm_world::delayed_messages() const {
+  std::lock_guard<std::mutex> lk(delay_m_);
+  return delayed_.size();
+}
+
+void comm_world::timer_loop() {
+  std::unique_lock<std::mutex> lk(delay_m_);
+  for (;;) {
+    if (timer_stop_ && delayed_.empty()) return;
+    if (delayed_.empty()) {
+      delay_cv_.wait(lk);
+      continue;
+    }
+    const auto due = delayed_.front().due;
+    // On shutdown remaining messages deliver immediately (no parked
+    // receive may be left dangling, and the destructor must not stall for
+    // un-elapsed deadlines).
+    if (!timer_stop_ && std::chrono::steady_clock::now() < due) {
+      delay_cv_.wait_until(lk, due);
+      continue;
+    }
+    std::pop_heap(delayed_.begin(), delayed_.end(), delayed_later{});
+    delayed_msg m = std::move(delayed_.back());
+    delayed_.pop_back();
+    // Deliver outside the lock: fulfilling the parked receive runs its
+    // continuations inline, which may send (and re-enter this mutex).
+    lk.unlock();
+    boxes_[static_cast<std::size_t>(m.dst)]->deliver(m.src, m.tag,
+                                                     std::move(m.payload));
+    lk.lock();
+  }
 }
 
 amt::future<byte_buffer> comm_world::recv(int dst, int src, std::uint64_t tag) {
@@ -95,6 +175,12 @@ void comm_world::register_counters(const std::string& prefix) {
 }
 
 comm_world::~comm_world() {
+  {
+    std::lock_guard<std::mutex> lk(delay_m_);
+    timer_stop_ = true;
+  }
+  delay_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
   auto& reg = amt::counter_registry::instance();
   for (const auto& path : counter_paths_) reg.unregister_counter(path);
 }

@@ -12,9 +12,14 @@
 ///
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/mailbox.hpp"
@@ -28,8 +33,26 @@ class comm_world {
   int size() const { return static_cast<int>(boxes_.size()); }
 
   /// Transfer `payload` from locality `src` to locality `dst` under `tag`.
-  /// Delivery is immediate (the performance model lives in nlh::sim).
+  /// Delivery is immediate unless a delay model is installed (the virtual
+  /// performance model lives in nlh::sim; the delay model below injects
+  /// *real* wall-clock latency for overlap benches and tests).
   void send(int src, int dst, std::uint64_t tag, byte_buffer payload);
+
+  /// Per-message delivery delay in seconds; <= 0 delivers inline.
+  using delay_model = std::function<double(int src, int dst, std::uint64_t tag)>;
+
+  /// Install a wall-clock delivery-delay model (the latency-injection seam
+  /// the overlap bench and the injected-latency tests use): messages whose
+  /// modeled delay is positive are handed to a background timer thread and
+  /// delivered that many seconds after send() instead of inline. Traffic
+  /// counters always update at send time; delivery order between messages
+  /// with distinct deadlines follows the deadlines, ties keep send order.
+  /// Pass nullptr to restore inline delivery — messages already queued
+  /// still deliver at their original deadline.
+  void set_delay_model(delay_model model);
+
+  /// Messages currently parked in the timer queue (diagnostics).
+  std::size_t delayed_messages() const;
 
   /// Futurized receive on locality `dst` for a message from `src` with `tag`.
   amt::future<byte_buffer> recv(int dst, int src, std::uint64_t tag);
@@ -63,6 +86,29 @@ class comm_world {
   std::vector<std::unique_ptr<mailbox>> boxes_;
   std::vector<std::atomic<std::uint64_t>> bytes_;
   std::vector<std::atomic<std::uint64_t>> msgs_;
+
+  /// One message parked on the timer thread until its deadline.
+  struct delayed_msg {
+    std::chrono::steady_clock::time_point due;
+    std::uint64_t seq;  ///< send order; breaks deadline ties deterministically
+    int dst;
+    int src;
+    std::uint64_t tag;
+    byte_buffer payload;
+  };
+  void timer_loop();
+
+  mutable std::mutex delay_m_;
+  std::condition_variable delay_cv_;
+  /// Fast-path gate: send() only touches delay_m_ when a model is (or has
+  /// been) installed, so the normal inline-delivery path stays lock-free up
+  /// to the per-mailbox lock.
+  std::atomic<bool> delay_enabled_{false};
+  delay_model delay_model_;          ///< guarded by delay_m_
+  std::vector<delayed_msg> delayed_; ///< min-heap by (due, seq); guarded by delay_m_
+  std::uint64_t delay_seq_ = 0;
+  bool timer_stop_ = false;
+  std::thread timer_;                ///< started lazily by set_delay_model
 };
 
 }  // namespace nlh::net

@@ -1,0 +1,383 @@
+// Tests for the per-direction overlap schedule and its cached step_plan
+// (docs/overlap.md): the fine strip dependency table, bitwise
+// serial==distributed equality for every schedule x kernel backend, plan
+// invalidation across migrations (with the epoch-tagged migration
+// messages), and — via the comm_world delay model — the §6.3 property
+// itself: case-2 interiors and ready-direction strips complete while the
+// slowest ghost is still in flight.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "api/session.hpp"
+#include "dist/dist_solver.hpp"
+#include "dist/step_plan.hpp"
+#include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/serial_solver.hpp"
+
+namespace dist = nlh::dist;
+namespace nl = nlh::nonlocal;
+namespace api = nlh::api;
+
+namespace {
+
+/// Serial reference on the same mesh / dt / kernel backend as `cfg`.
+std::vector<double> serial_reference(const dist::dist_config& cfg, int steps) {
+  nl::solver_config scfg;
+  scfg.n = cfg.sd_cols * cfg.sd_size;
+  scfg.epsilon_factor = cfg.epsilon_factor;
+  scfg.conductivity = cfg.conductivity;
+  scfg.dt = cfg.dt;
+  scfg.dt_safety = cfg.dt_safety;
+  scfg.num_steps = steps;
+  scfg.kind = cfg.kind;
+  scfg.backend = cfg.backend;
+  nl::serial_solver s(scfg);
+  s.set_initial_condition();
+  for (int k = 0; k < steps; ++k) s.step(k);
+  return s.field();
+}
+
+/// Bitwise comparison over the interior DPs (exact double equality — the
+/// distributed schedule must not change a single rounding).
+void expect_bitwise_equal(const nl::grid2d& g, const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  int mismatches = 0;
+  for (int i = 0; i < g.n() && mismatches < 5; ++i)
+    for (int j = 0; j < g.n() && mismatches < 5; ++j)
+      if (a[g.flat(i, j)] != b[g.flat(i, j)]) {
+        ADD_FAILURE() << "field mismatch at (" << i << ", " << j
+                      << "): " << a[g.flat(i, j)] << " vs " << b[g.flat(i, j)];
+        ++mismatches;
+      }
+}
+
+}  // namespace
+
+// --------------------------------------------------- fine strip geometry ----
+
+TEST(FineStrips, DependenciesForColumnOwnership) {
+  // 2x2 SDs, columns on different localities: SD 0 has remote E and SE
+  // neighbors, a local S neighbor and no N row.
+  const dist::tiling t(2, 2, 8, 2);
+  const std::vector<int> owner{0, 1, 0, 1};
+  const auto fine = dist::compute_fine_strips(t, 0, owner);
+
+  const auto coarse = dist::compute_case_split(t, 0, owner);
+  long long fine_area = 0;
+  int zero_dep = 0, one_dep = 0, two_dep = 0;
+  for (const auto& s : fine) {
+    fine_area += s.rect.area();
+    if (s.deps.empty()) ++zero_dep;
+    if (s.deps.size() == 1) {
+      ++one_dep;
+      EXPECT_EQ(s.deps[0], dist::direction::east);
+    }
+    if (s.deps.size() == 2) {
+      ++two_dep;
+      EXPECT_EQ(s.deps[0], dist::direction::east);
+      EXPECT_EQ(s.deps[1], dist::direction::southeast);
+    }
+  }
+  // The fine strips tile exactly the coarse case-1 region.
+  EXPECT_EQ(fine_area, coarse.strip_dps());
+  // South side strip reads only local data; east side needs the E ghost;
+  // the SE corner needs E and the SE diagonal.
+  EXPECT_EQ(zero_dep, 1);
+  EXPECT_EQ(one_dep, 1);
+  EXPECT_EQ(two_dep, 1);
+}
+
+TEST(FineStrips, DiagonalOnlyNeighborFreesTheSides) {
+  // Single remote *diagonal* neighbor: the coarse split gates both margins
+  // on the one corner ghost; the fine split leaves both side strips free.
+  const dist::tiling t(2, 2, 8, 2);
+  const std::vector<int> owner{0, 0, 0, 1};  // only SD 3 (SE of SD 0) remote
+  const auto fine = dist::compute_fine_strips(t, 0, owner);
+  int with_deps = 0;
+  for (const auto& s : fine)
+    if (!s.deps.empty()) {
+      ++with_deps;
+      ASSERT_EQ(s.deps.size(), 1u);
+      EXPECT_EQ(s.deps[0], dist::direction::southeast);
+      // Only the g x g corner rectangle actually reads the SE collar.
+      EXPECT_EQ(s.rect.area(), static_cast<long long>(t.ghost()) * t.ghost());
+    }
+  EXPECT_EQ(with_deps, 1);
+}
+
+TEST(FineStrips, TileCoarseRegionForManyOwnerships) {
+  const dist::tiling t(3, 3, 6, 2);
+  const std::vector<std::vector<int>> owners = {
+      {0, 1, 2, 0, 1, 2, 2, 0, 1}, {0, 0, 0, 1, 1, 1, 2, 2, 2},
+      {0, 1, 0, 1, 0, 1, 0, 1, 0}, {0, 0, 0, 0, 1, 0, 0, 0, 0}};
+  for (const auto& own : owners)
+    for (int sd = 0; sd < t.num_sds(); ++sd) {
+      const auto coarse = dist::compute_case_split(t, sd, own);
+      const auto fine = dist::compute_fine_strips(t, sd, own);
+      long long area = 0;
+      for (const auto& s : fine) area += s.rect.area();
+      EXPECT_EQ(area, coarse.strip_dps()) << "sd " << sd;
+    }
+}
+
+// ------------------------------------------------------- compiled plan ----
+
+TEST(StepPlan, CachesMessageTableAndSplits) {
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 2;
+  cfg.sd_size = 8;
+  cfg.epsilon_factor = 2;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 1, 0, 1}));
+
+  const auto& plan = solver.plan();
+  // Column split: each SD exchanges a side strip and a diagonal with the
+  // other locality -> 2 messages per SD.
+  EXPECT_EQ(plan.total_messages, 8);
+  EXPECT_EQ(plan.sends.size(), 8u);
+  EXPECT_EQ(static_cast<int>(plan.sds.size()), 4);
+  for (const auto& sd : plan.sds) {
+    EXPECT_TRUE(sd.boundary);
+    EXPECT_EQ(sd.recvs.size(), 2u);
+    EXPECT_EQ(sd.local_fills.size(), 1u);  // the same-column vertical pair
+    EXPECT_EQ(sd.ready_strips.size(), 1u);
+    EXPECT_EQ(sd.strips.size(), 2u);
+  }
+}
+
+// --------------------------------- bitwise equality, schedules x backends ----
+
+using SchedBackendParam = std::tuple<dist::overlap_schedule, std::string>;
+
+class ScheduleBackendEquivalence
+    : public ::testing::TestWithParam<SchedBackendParam> {};
+
+TEST_P(ScheduleBackendEquivalence, BitwiseMatchesSerialReference) {
+  const auto [sched, backend_name] = GetParam();
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 3;
+  cfg.sd_size = 6;
+  cfg.epsilon_factor = 2;
+  cfg.threads_per_locality = 2;
+  cfg.schedule = sched;
+  cfg.backend = nl::parse_kernel_backend(backend_name);
+  ASSERT_TRUE(cfg.backend.has_value());
+
+  const dist::tiling t(3, 3, 6, 2);
+  dist::dist_solver solver(
+      cfg, dist::ownership_map(t, 3, {0, 1, 2, 0, 1, 2, 2, 0, 1}));
+  solver.set_initial_condition();
+  solver.run(4);
+
+  const auto ref = serial_reference(cfg, 4);
+  expect_bitwise_equal(solver.grid(), solver.gather(), ref);
+  EXPECT_EQ(solver.schedule(), sched);
+  EXPECT_GT(solver.stats().messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulesAllBackends, ScheduleBackendEquivalence,
+    ::testing::Combine(::testing::Values(dist::overlap_schedule::bulk_sync,
+                                         dist::overlap_schedule::coarse,
+                                         dist::overlap_schedule::per_direction),
+                       ::testing::Values("scalar", "row_run", "simd")));
+
+// -------------------------------------- plan invalidation via migrations ----
+
+class MigrationBackendEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MigrationBackendEquivalence, BitwiseAcrossRepeatedMigrations) {
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 2;
+  cfg.sd_size = 8;
+  cfg.epsilon_factor = 2;
+  cfg.threads_per_locality = 2;
+  cfg.backend = nl::parse_kernel_backend(GetParam());
+  ASSERT_TRUE(cfg.backend.has_value());
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 0, 1, 1}));
+  solver.set_initial_condition();
+
+  solver.run(2);
+  solver.migrate_sd(1, 1);  // plan recompiles on the next step
+  EXPECT_EQ(solver.migration_epoch(1), 1u);
+  solver.run(2);
+  solver.migrate_sd(1, 0);  // same SD again: a fresh epoch, a fresh tag
+  solver.migrate_sd(2, 0);
+  EXPECT_EQ(solver.migration_epoch(1), 2u);
+  EXPECT_EQ(solver.migration_epoch(2), 1u);
+  solver.run(2);
+
+  const auto ref = serial_reference(cfg, 6);
+  expect_bitwise_equal(solver.grid(), solver.gather(), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, MigrationBackendEquivalence,
+                         ::testing::Values("scalar", "row_run", "simd"));
+
+TEST(StepPlanInvalidation, MigrationToSelfKeepsEpoch) {
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 2;
+  cfg.sd_size = 8;
+  cfg.epsilon_factor = 2;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 0, 1, 1}));
+  solver.migrate_sd(0, 0);
+  EXPECT_EQ(solver.migration_epoch(0), 0u);
+}
+
+TEST(StepPlanInvalidation, DelayedMigrationTrafficStaysBitwise) {
+  // With wall-clock delivery delays, repeated migrations of one SD put
+  // multiple migration messages in flight over time; the epoch-tagged
+  // messages must never cross-deliver.
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 2;
+  cfg.sd_size = 8;
+  cfg.epsilon_factor = 2;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 0, 1, 1}));
+  solver.set_initial_condition();
+  solver.comm().set_delay_model(
+      [](int, int, std::uint64_t) { return 2e-3; });
+  solver.run(1);
+  solver.migrate_sd(1, 1);
+  solver.migrate_sd(1, 0);
+  solver.migrate_sd(1, 1);
+  solver.run(1);
+  EXPECT_EQ(solver.migration_epoch(1), 3u);
+
+  const auto ref = serial_reference(cfg, 2);
+  expect_bitwise_equal(solver.grid(), solver.gather(), ref);
+}
+
+// ------------------------------------------- injected-latency overlap ----
+
+namespace {
+
+dist::dist_config latency_cfg() {
+  dist::dist_config cfg;
+  cfg.sd_rows = cfg.sd_cols = 2;
+  cfg.sd_size = 8;
+  cfg.epsilon_factor = 2;
+  cfg.threads_per_locality = 2;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(InjectedLatency, PerDirectionComputesBeforeSlowestGhost) {
+  auto cfg = latency_cfg();
+  cfg.schedule = dist::overlap_schedule::per_direction;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 1, 0, 1}));
+  solver.set_initial_condition();
+  // Every cross-locality ghost arrives 100 ms late; compute takes
+  // microseconds, so anything not gated on a message must finish first.
+  solver.comm().set_delay_model([](int, int, std::uint64_t) { return 0.1; });
+  solver.step();
+
+  const auto s = solver.stats();
+  EXPECT_EQ(s.messages, 8u);
+  // All four case-2 interiors completed while ghosts were in flight...
+  EXPECT_EQ(s.interior_early, 4u);
+  // ...and so did the four ready-direction strips (one zero-dependency
+  // side strip per SD under the column ownership).
+  EXPECT_GE(s.strips_early, 4u);
+  // The stepping thread paid the latency in the drain, not before it.
+  EXPECT_GE(s.wait_seconds, 0.05);
+
+  const auto ref = serial_reference(cfg, 1);
+  expect_bitwise_equal(solver.grid(), solver.gather(), ref);
+}
+
+TEST(InjectedLatency, BulkSyncHidesNothing) {
+  auto cfg = latency_cfg();
+  cfg.overlap_communication = false;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 1, 0, 1}));
+  solver.set_initial_condition();
+  solver.comm().set_delay_model([](int, int, std::uint64_t) { return 0.05; });
+  solver.step();
+
+  const auto s = solver.stats();
+  EXPECT_EQ(s.messages, 8u);
+  // The bulk-synchronous drain finishes before any compute is posted:
+  // nothing ever completes "early".
+  EXPECT_EQ(s.interior_early, 0u);
+  EXPECT_EQ(s.strips_early, 0u);
+}
+
+TEST(InjectedLatency, CoarseOverlapsInteriorOnly) {
+  auto cfg = latency_cfg();
+  cfg.schedule = dist::overlap_schedule::coarse;
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 1, 0, 1}));
+  solver.set_initial_condition();
+  solver.comm().set_delay_model([](int, int, std::uint64_t) { return 0.05; });
+  solver.step();
+
+  // Case-2 still overlaps under the coarse schedule...
+  EXPECT_EQ(solver.stats().interior_early, 4u);
+  // ...but the run stays bitwise correct.
+  const auto ref = serial_reference(cfg, 1);
+  expect_bitwise_equal(solver.grid(), solver.gather(), ref);
+}
+
+// ------------------------------------------------- api metrics plumbing ----
+
+TEST(ApiOverlapMetrics, DistributedExposesScheduleAndWait) {
+  api::session_options opt;
+  opt.mode = api::execution_mode::distributed;
+  opt.n = 16;
+  opt.sd_grid = 2;
+  opt.epsilon_factor = 2;
+  opt.nodes = 2;
+  opt.overlap_schedule = "coarse";
+  api::session session(opt);
+  auto& h = session.solver();
+  h.run(3);
+  const auto m = h.metrics();
+  EXPECT_EQ(m.overlap_schedule, "coarse");
+  EXPECT_GE(m.comm_wait_seconds, 0.0);
+  EXPECT_GT(m.ghost_bytes, 0u);
+}
+
+TEST(ApiOverlapMetrics, PerDirectionDefaultAndSerialFallback) {
+  api::session_options opt;
+  opt.mode = api::execution_mode::distributed;
+  opt.n = 16;
+  opt.sd_grid = 2;
+  opt.epsilon_factor = 2;
+  opt.nodes = 2;
+  api::session dist_session(opt);
+  EXPECT_EQ(dist_session.solver().metrics().overlap_schedule, "per_direction");
+
+  api::session_options sopt;
+  sopt.mode = api::execution_mode::serial;
+  sopt.n = 16;
+  sopt.epsilon_factor = 2;
+  api::session serial_session(sopt);
+  const auto m = serial_session.solver().metrics();
+  EXPECT_EQ(m.overlap_schedule, "serial");
+  EXPECT_EQ(m.comm_wait_seconds, 0.0);
+  EXPECT_EQ(m.overlap_early_tasks, 0u);
+}
+
+TEST(ApiOverlapMetrics, UnknownScheduleNameIsRejected) {
+  api::session_options opt;
+  opt.mode = api::execution_mode::distributed;
+  opt.n = 16;
+  opt.sd_grid = 2;
+  opt.epsilon_factor = 2;
+  opt.nodes = 2;
+  opt.overlap_schedule = "warp";
+  const auto errs = api::session::validate(opt);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("overlap_schedule"), std::string::npos);
+  EXPECT_THROW(api::session{opt}, std::invalid_argument);
+}
