@@ -8,11 +8,18 @@
 /// Usage: batch_service [--n 32] [--eps-factor 2] [--steps 5] [--sd-grid 4]
 ///                      [--nodes 2] [--pool-threads 4] [--cap 3]
 ///                      [--policy fifo|priority] [--json PATH] [--soak]
+///                      [--trace-out PATH] [--metrics-out PATH]
 ///
 /// `--soak` switches to the ROADMAP stress configuration — 16x16 SDs on 8
 /// localities for hundreds of steps, distributed jobs across every
 /// scenario x backend — which the nightly CI job runs, uploading the
 /// `--json` metrics file as an artifact.
+///
+/// `--trace-out` enables span tracing for the whole batch and writes a
+/// Chrome-tracing / Perfetto JSON timeline; `--metrics-out` writes the
+/// runner's full metrics snapshot (per-session step-latency histograms,
+/// queue-wait, bridged AGAS counters) — see docs/observability.md. The
+/// nightly soak passes both and uploads the files as artifacts.
 ///
 /// Exit status: 0 when every job succeeded (and, in sweep mode, every
 /// serial/distributed pair agreed bitwise); 1 otherwise.
@@ -27,6 +34,8 @@
 #include <vector>
 
 #include "api/batch.hpp"
+#include "obs/config.hpp"
+#include "obs/trace_export.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -81,7 +90,7 @@ void write_json(const std::string& path, const api::batch_metrics& agg,
 
 int main(int argc, char** argv) {
   const nlh::support::cli cli(argc, argv);
-  const bool soak = cli.get_bool("soak", false);
+  const bool soak = cli.get_flag("soak", false);
 
   // Sweep defaults stay example-sized; --soak is the ROADMAP stress config
   // (16x16 SDs, 8 localities, hundreds of steps).
@@ -91,11 +100,16 @@ int main(int argc, char** argv) {
   const int sd_grid = cli.get_int("sd-grid", soak ? 16 : 4);
   const int nodes = cli.get_int("nodes", soak ? 8 : 2);
   const std::string json_path = cli.get("json", "");
+  const std::string trace_path = cli.get("trace-out", "");
+  const std::string metrics_path = cli.get("metrics-out", "");
+  if (!trace_path.empty()) nlh::obs::set_tracing_enabled(true);
 
   api::batch_options bopt;
   bopt.pool_threads = static_cast<unsigned>(cli.get_int("pool-threads", 4));
   bopt.max_concurrent_jobs = cli.get_int("cap", 3);
-  bopt.admission = cli.get("policy", "fifo") == "priority"
+  // Closed value set: a typo'd policy keeps the documented fifo default
+  // instead of silently selecting it through a failed string compare.
+  bopt.admission = cli.get_string("policy", "fifo", {"fifo", "priority"}) == "priority"
                        ? api::admission_policy::priority
                        : api::admission_policy::fifo;
 
@@ -200,6 +214,19 @@ int main(int argc, char** argv) {
             << agg.jobs_per_second << " jobs/s\n";
 
   if (!json_path.empty()) write_json(json_path, agg, results, soak);
+
+  if (!metrics_path.empty()) {
+    runner.dump_metrics(metrics_path);
+    std::cout << "metrics snapshot written to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    nlh::obs::set_tracing_enabled(false);
+    if (nlh::obs::write_chrome_trace(trace_path))
+      std::cout << "trace timeline written to " << trace_path
+                << " (load in ui.perfetto.dev or chrome://tracing)\n";
+    else
+      all_ok = false;
+  }
 
   return all_ok ? 0 : 1;
 }

@@ -32,6 +32,20 @@ double counter_registry::value(const std::string& path) const {
   return fn();
 }
 
+std::optional<double> counter_registry::try_value(const std::string& path) const {
+  std::function<double()> fn;
+  {
+    std::lock_guard lk(m_);
+    const auto it = counters_.find(path);
+    if (it == counters_.end()) return std::nullopt;
+    fn = it->second.value;
+  }
+  // Invoked outside the lock (like value()): providers may take their own
+  // locks, and a concurrent unregister after the copy is harmless — the
+  // copied std::function keeps its captures alive for this call.
+  return fn();
+}
+
 bool counter_registry::contains(const std::string& path) const {
   std::lock_guard lk(m_);
   return counters_.count(path) != 0;

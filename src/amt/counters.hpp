@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,12 @@ class counter_registry {
 
   /// Polls a counter; aborts via NLH_ASSERT if the path is unknown.
   double value(const std::string& path) const;
+
+  /// Non-aborting poll: nullopt when the path is not (or no longer)
+  /// registered. The right call for monitoring/balancing loops racing
+  /// against unregister_counter (e.g. a pool torn down mid-migration) —
+  /// a vanished counter is a skipped reading, not a crash.
+  std::optional<double> try_value(const std::string& path) const;
 
   bool contains(const std::string& path) const;
 

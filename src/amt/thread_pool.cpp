@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "amt/counters.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 
 namespace nlh::amt {
@@ -103,7 +104,10 @@ void thread_pool::run_task(unique_function<void()> task) {
   }
   tasks_executed_.fetch_add(1, std::memory_order_relaxed);
 
-  task();
+  {
+    NLH_TRACE_SPAN("amt/task");
+    task();
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
   {
@@ -126,6 +130,13 @@ void thread_pool::run_task(unique_function<void()> task) {
 void thread_pool::worker_loop(unsigned index) {
   current_pool_ = this;
   current_index_ = index;
+#if NLH_OBS_TRACING_COMPILED
+  // Perfetto track label; once per thread, so unconditional is fine.
+  obs::tracer::instance().set_thread_name(
+      (locality_ >= 0 ? "loc" + std::to_string(locality_) + "/worker-"
+                      : "worker-") +
+      std::to_string(index));
+#endif
   unique_function<void()> task;
   while (true) {
     if (try_pop_local(index, task) || try_pop_inject(task) || try_steal(index, task)) {

@@ -12,6 +12,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics_export.hpp"
+#include "obs/tracer.hpp"
+#include "support/stopwatch.hpp"
+
 namespace nlh::api {
 
 std::vector<std::string> validate(const batch_options& opt) {
@@ -61,12 +65,14 @@ amt::future<batch_job_result> batch_runner::submit(batch_job job) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     qj.seq = next_seq_++;
+    qj.submitted = std::chrono::steady_clock::now();
     if (qj.job.label.empty()) qj.job.label = "job-" + std::to_string(qj.seq);
     if (!clock_started_) {
       clock_started_ = true;
-      first_submit_ = std::chrono::steady_clock::now();
+      first_submit_ = qj.submitted;
     }
     ++agg_.jobs_submitted;
+    NLH_TRACE_INSTANT("api/job_submit", qj.seq);
     queue_.push_back(std::move(qj));
     pump_locked();
   }
@@ -97,6 +103,7 @@ void batch_runner::pump_locked() {
     queued_job qj = std::move(*it);
     queue_.erase(it);
     ++running_;
+    NLH_TRACE_INSTANT("api/job_admit", qj.seq);
     // unique_function is move-only-friendly, so the job rides the task.
     pool_.post([this, qj = std::move(qj)]() mutable { execute(std::move(qj)); });
   }
@@ -104,40 +111,51 @@ void batch_runner::pump_locked() {
 
 void batch_runner::execute(queued_job qj) {
   batch_job_result res;
-  res.label = qj.job.label;
-  long long steps_done = 0;
-  try {
-    session s(qj.job.options);
-    auto& h = s.solver();
-    const int steps =
-        qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
-    h.run(steps);
-    if (qj.job.on_complete) qj.job.on_complete(s);
-    res.metrics = h.metrics();
-    res.ok = true;
-    steps_done = res.metrics.steps;
-  } catch (const std::exception& e) {
-    res.error = e.what();
-  } catch (...) {
-    res.error = "unknown exception";
-  }
-
+  // The job span closes before the promise resolves, so a caller that
+  // snapshots the tracer right after the last future fires sees every job.
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    --running_;
-    if (res.ok) {
-      ++agg_.jobs_completed;
-      agg_.total_steps += steps_done;
-      agg_.ghost_bytes += res.metrics.ghost_bytes;
-    } else {
-      ++agg_.jobs_failed;
+    NLH_TRACE_SPAN_ARG("api/job", qj.seq);
+    queue_wait_hist_.record(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - qj.submitted)
+                                .count());
+    support::stopwatch job_sw;
+    res.label = qj.job.label;
+    long long steps_done = 0;
+    try {
+      session s(qj.job.options);
+      auto& h = s.solver();
+      const int steps =
+          qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
+      h.run(steps);
+      if (qj.job.on_complete) qj.job.on_complete(s);
+      res.metrics = h.metrics();
+      res.ok = true;
+      steps_done = res.metrics.steps;
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    } catch (...) {
+      res.error = "unknown exception";
     }
-    agg_.wall_seconds = std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - first_submit_)
-                            .count();
-    pump_locked();
+
+    job_duration_hist_.record(job_sw.elapsed_s());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      --running_;
+      if (res.ok) {
+        ++agg_.jobs_completed;
+        agg_.total_steps += steps_done;
+        agg_.ghost_bytes += res.metrics.ghost_bytes;
+        job_step_latency_.emplace_back(res.label, res.metrics.step_latency);
+      } else {
+        ++agg_.jobs_failed;
+      }
+      agg_.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - first_submit_)
+                              .count();
+      pump_locked();
+    }
+    idle_cv_.notify_all();
   }
-  idle_cv_.notify_all();
   // Fulfill outside mu_: user continuations attached to the future run
   // inline here and must be free to call back into the runner.
   qj.done.set_value(std::move(res));
@@ -159,7 +177,40 @@ batch_metrics batch_runner::aggregate() const {
                          .count();
   if (m.wall_seconds > 0.0)
     m.jobs_per_second = static_cast<double>(m.jobs_completed) / m.wall_seconds;
+  m.queue_wait = queue_wait_hist_.summary();
+  m.job_duration = job_duration_hist_.summary();
   return m;
+}
+
+obs::metrics_snapshot batch_runner::metrics_snapshot() const {
+  const auto m = aggregate();
+  obs::metrics_snapshot snap;
+  snap.add_counter("api/batch/jobs_submitted",
+                   static_cast<std::uint64_t>(m.jobs_submitted));
+  snap.add_counter("api/batch/jobs_completed",
+                   static_cast<std::uint64_t>(m.jobs_completed));
+  snap.add_counter("api/batch/jobs_failed",
+                   static_cast<std::uint64_t>(m.jobs_failed));
+  snap.add_counter("api/batch/total_steps",
+                   static_cast<std::uint64_t>(m.total_steps));
+  snap.add_counter("api/batch/ghost_bytes", m.ghost_bytes);
+  snap.add_gauge("api/batch/wall_seconds", m.wall_seconds);
+  snap.add_gauge("api/batch/jobs_per_second", m.jobs_per_second);
+  snap.add_histogram("api/batch/queue_wait_seconds", m.queue_wait);
+  snap.add_histogram("api/batch/job_duration_seconds", m.job_duration);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [label, s] : job_step_latency_)
+      snap.add_histogram("api/job/" + label + "/step_latency_seconds", s);
+  }
+  // Live AGAS counter paths (pool busy times, comm traffic) ride along so
+  // one exported file carries the whole process view.
+  obs::bridge_counter_registry(snap);
+  return snap;
+}
+
+void batch_runner::dump_metrics(const std::string& path) const {
+  obs::write_metrics_json(path, metrics_snapshot());
 }
 
 }  // namespace nlh::api

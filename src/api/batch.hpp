@@ -31,6 +31,7 @@
 #include "amt/future.hpp"
 #include "amt/thread_pool.hpp"
 #include "api/session.hpp"
+#include "obs/metrics.hpp"
 
 namespace nlh::api {
 
@@ -86,6 +87,11 @@ struct batch_metrics {
   std::uint64_t ghost_bytes = 0;     ///< sum over completed jobs
   double wall_seconds = 0.0;         ///< first submit -> last completion
   double jobs_per_second = 0.0;      ///< completed / wall_seconds
+  /// Submit -> execution-start latency over every started job (seconds):
+  /// the admission-queue + worker-pickup wait a tenant experiences.
+  obs::histogram_summary queue_wait;
+  /// Execution wall time over every finished job, failed ones included.
+  obs::histogram_summary job_duration;
 };
 
 /// Validate `opt`, one actionable message per offence; empty = valid.
@@ -117,6 +123,14 @@ class batch_runner {
   /// still-running batch reads "so far").
   batch_metrics aggregate() const;
 
+  /// aggregate() plus the per-job step-latency summaries of every
+  /// completed job, as `api/batch/...` / `api/job/<label>/...` instruments,
+  /// with the process AGAS counter paths bridged in
+  /// (obs::bridge_counter_registry).
+  obs::metrics_snapshot metrics_snapshot() const;
+  /// Write metrics_snapshot() as JSON to `path` (obs/metrics_export.hpp).
+  void dump_metrics(const std::string& path) const;
+
   const batch_options& options() const { return opt_; }
   /// The shared pool (e.g. for co-scheduling caller work).
   amt::thread_pool& pool() { return pool_; }
@@ -126,6 +140,7 @@ class batch_runner {
     batch_job job;
     amt::promise<batch_job_result> done;
     std::uint64_t seq = 0;  ///< FIFO tiebreak
+    std::chrono::steady_clock::time_point submitted;  ///< queue-wait origin
   };
 
   /// Admit queued jobs while slots are free. Caller holds mu_.
@@ -142,6 +157,11 @@ class batch_runner {
   batch_metrics agg_;
   bool clock_started_ = false;
   std::chrono::steady_clock::time_point first_submit_;
+  /// Latency instruments (internally synchronized) and the completed jobs'
+  /// step-latency summaries (guarded by mu_) for metrics_snapshot().
+  obs::histogram queue_wait_hist_;
+  obs::histogram job_duration_hist_;
+  std::vector<std::pair<std::string, obs::histogram_summary>> job_step_latency_;
   amt::thread_pool pool_;  ///< last member: joins before the state above dies
 };
 

@@ -16,6 +16,8 @@
 #include "dist/dist_solver.hpp"
 #include "nonlocal/error.hpp"
 #include "nonlocal/kernel/backend.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/tracer.hpp"
 #include "partition/mesh_dual.hpp"
 #include "partition/metrics.hpp"
 #include "partition/multilevel.hpp"
@@ -43,6 +45,10 @@ class solver_impl {
   virtual std::string overlap_schedule_name() const { return "serial"; }
   virtual double comm_wait_seconds() const { return 0.0; }
   virtual std::uint64_t overlap_early_tasks() const { return 0; }
+  virtual bool distributed() const { return false; }
+  /// Append backend-specific instruments to a metrics snapshot (serial has
+  /// none beyond what runtime_metrics already carries).
+  virtual void metrics_into(obs::metrics_snapshot&) const {}
 };
 
 namespace {
@@ -116,6 +122,10 @@ class dist_impl final : public solver_impl {
     const auto s = solver_.stats();
     return s.interior_early + s.strips_early;
   }
+  bool distributed() const override { return true; }
+  void metrics_into(obs::metrics_snapshot& snap) const override {
+    solver_.metrics_into(snap);
+  }
 
  private:
   static dist::dist_config make_config(const session_options& o) {
@@ -162,11 +172,17 @@ runtime_metrics solver_handle::run_steps(int num_steps) {
   std::lock_guard<std::recursive_mutex> step_lk(step_mu_);
   for (int k = 0; k < num_steps; ++k) {
     support::stopwatch sw;
-    impl_->do_step();
+    {
+      NLH_TRACE_SPAN_ARG("api/step",
+                         static_cast<std::uint64_t>(impl_->current_step()));
+      impl_->do_step();
+    }
+    const double step_s = sw.elapsed_s();
+    step_latency_hist_.record(step_s);
     step_observer cb;
     {
       std::lock_guard<std::mutex> lk(state_mu_);
-      wall_seconds_ += sw.elapsed_s();
+      wall_seconds_ += step_s;
       cb = observer_;  // copy: set_observer may swap it mid-run
     }
     if (cb) cb(step_event{impl_->current_step(), impl_->current_step() * dt()});
@@ -255,12 +271,34 @@ runtime_metrics solver_handle::metrics_locked() const {
   m.overlap_schedule = impl_->overlap_schedule_name();
   m.comm_wait_seconds = impl_->comm_wait_seconds();
   m.overlap_early_tasks = impl_->overlap_early_tasks();
+  m.is_distributed = impl_->distributed();
+  m.step_latency = step_latency_hist_.summary();
   return m;
 }
 
 runtime_metrics solver_handle::metrics() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
   return metrics_locked();
+}
+
+obs::metrics_snapshot solver_handle::metrics_snapshot() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  const auto m = metrics_locked();
+  obs::metrics_snapshot snap;
+  snap.add_counter("api/session/steps", static_cast<std::uint64_t>(m.steps));
+  snap.add_counter("api/session/ghost_bytes", m.ghost_bytes);
+  snap.add_counter("api/session/overlap_early_tasks", m.overlap_early_tasks);
+  snap.add_gauge("api/session/dt", m.dt);
+  snap.add_gauge("api/session/wall_seconds", m.wall_seconds);
+  snap.add_gauge("api/session/comm_wait_seconds", m.comm_wait_seconds);
+  snap.add_gauge("api/session/is_distributed", m.is_distributed ? 1.0 : 0.0);
+  snap.add_histogram("api/session/step_latency_seconds", m.step_latency);
+  impl_->metrics_into(snap);
+  return snap;
+}
+
+void solver_handle::dump_metrics(const std::string& path) const {
+  obs::write_metrics_json(path, metrics_snapshot());
 }
 
 // ---------------------------------------------------------------- session --

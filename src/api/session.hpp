@@ -39,6 +39,7 @@
 #include "dist/ownership.hpp"
 #include "dist/tiling.hpp"
 #include "nonlocal/serial_solver.hpp"
+#include "obs/metrics.hpp"
 
 namespace nlh::api {
 
@@ -134,6 +135,17 @@ struct runtime_metrics {
   /// at least one ghost message was still in flight — the direct evidence
   /// of communication hiding (0 serial / bulk_sync).
   std::uint64_t overlap_early_tasks = 0;
+  /// True when the distributed backend produced these metrics. The schema
+  /// is uniform across backends: serial handles report the overlap fields
+  /// (ghost_bytes, comm_wait_seconds, overlap_early_tasks) as genuine
+  /// zeros — nothing was exchanged, nothing waited — and this flag is how
+  /// a consumer tells "zero because serial" from "zero because the overlap
+  /// hid everything" (docs/api.md).
+  bool is_distributed = false;
+  /// Wall latency distribution of this handle's completed steps (seconds):
+  /// every step records into a per-handle histogram regardless of backend,
+  /// so p50/p99 step latency is comparable serial vs distributed.
+  obs::histogram_summary step_latency;
 };
 
 /// Internal polymorphic solver body (serial / distributed); defined in
@@ -209,6 +221,14 @@ class solver_handle {
 
   runtime_metrics metrics() const;
 
+  /// Everything metrics() reports plus the backend's own instruments
+  /// (distributed: ghost traffic counters, message-size and drain-wait
+  /// histograms, per-locality busy fractions, compiled-plan shape), as a
+  /// plain `obs::metrics_snapshot` under `api/...` / `dist/...` names.
+  obs::metrics_snapshot metrics_snapshot() const;
+  /// Write metrics_snapshot() as JSON to `path` (obs/metrics_export.hpp).
+  void dump_metrics(const std::string& path) const;
+
  private:
   friend class session;
   solver_handle(std::shared_ptr<const scenario> scn,
@@ -230,6 +250,9 @@ class solver_handle {
   mutable std::mutex state_mu_;  ///< guards observer_ and wall_seconds_
   step_observer observer_;
   double wall_seconds_ = 0.0;
+  /// Per-step wall latency (internally synchronized; recorded by the
+  /// stepping thread, summarized by metrics readers).
+  obs::histogram step_latency_hist_;
   std::mutex driver_mu_;
   /// Lazy single-thread driver. Declared after impl_: destroyed first, so
   /// in-flight async tasks drain while the solver body is still alive.

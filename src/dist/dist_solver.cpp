@@ -16,6 +16,7 @@
 #include "amt/async.hpp"
 #include "net/serializer.hpp"
 #include "nonlocal/nonlocal_operator.hpp"
+#include "obs/tracer.hpp"
 #include "support/stopwatch.hpp"
 
 namespace nlh::dist {
@@ -170,6 +171,7 @@ void dist_solver::release_buffer(net::byte_buffer buf) {
 }
 
 void dist_solver::unpack_ghost(int sd, direction d, net::byte_buffer buf) {
+  NLH_TRACE_SPAN_ARG("dist/unpack", static_cast<std::uint64_t>(sd));
   // Per-(SD, direction) scratch: under the per-direction schedule two
   // ghosts of one SD may unpack concurrently on different workers.
   auto& strip =
@@ -210,9 +212,42 @@ overlap_stats dist_solver::stats() const {
   return s;
 }
 
+void dist_solver::metrics_into(obs::metrics_snapshot& snap) const {
+  snap.add_counter("dist/ghost/messages",
+                   stat_messages_.load(std::memory_order_relaxed));
+  snap.add_counter("dist/ghost/bytes", ghost_bytes_.load(std::memory_order_relaxed));
+  snap.add_counter("dist/overlap/interior_early",
+                   stat_interior_early_.load(std::memory_order_relaxed));
+  snap.add_counter("dist/overlap/strips_early",
+                   stat_strips_early_.load(std::memory_order_relaxed));
+  snap.add_gauge("dist/step/wait_seconds",
+                 wait_seconds_.load(std::memory_order_relaxed));
+  snap.add_gauge("dist/step/current", static_cast<double>(step_));
+  snap.add_histogram("dist/ghost/message_bytes", ghost_msg_bytes_hist_.summary());
+  snap.add_histogram("dist/step/drain_wait_seconds", drain_wait_hist_.summary());
+  for (int l = 0; l < own_.num_nodes(); ++l)
+    snap.add_gauge("amt/pool#" + std::to_string(l) + "/busy_fraction",
+                   pools_[static_cast<std::size_t>(l)]->busy_fraction());
+  // Plan shape: only meaningful once compiled; a dirty plan (fresh
+  // construction, or just after migrate_sd/restore) is skipped rather than
+  // reported as all-zero.
+  if (!plan_dirty_) {
+    snap.add_gauge("dist/plan/messages", static_cast<double>(plan_.total_messages));
+    snap.add_gauge("dist/plan/strips", static_cast<double>(plan_.total_strips));
+    snap.add_gauge("dist/plan/ready_strips",
+                   static_cast<double>(plan_.total_ready_strips));
+    snap.add_gauge("dist/plan/local_fills",
+                   static_cast<double>(plan_.total_local_fills));
+    snap.add_gauge("dist/plan/boundary_sds",
+                   static_cast<double>(plan_.boundary_sds));
+  }
+}
+
 void dist_solver::ensure_plan() {
   if (!plan_dirty_) return;
   plan_ = compile_step_plan(tiling_, own_);
+  NLH_TRACE_INSTANT("dist/plan_compile",
+                    static_cast<std::uint64_t>(plan_.total_messages));
   recv_slots_.assign(static_cast<std::size_t>(plan_.total_messages),
                      amt::future<net::byte_buffer>{});
   ghost_ready_.assign(static_cast<std::size_t>(plan_.total_messages),
@@ -264,6 +299,7 @@ void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_n
 }
 
 void dist_solver::step() {
+  NLH_TRACE_SPAN_ARG("dist/step", static_cast<std::uint64_t>(step_));
   ensure_plan();
   const double t_now = step_ * dt_;
   const overlap_schedule sched = schedule();
@@ -305,6 +341,7 @@ void dist_solver::step() {
         *pools_[static_cast<std::size_t>(snd.src_locality)],
         [this, sender_sd = snd.sender_sd, pack_dir = snd.pack_dir,
          src = snd.src_locality, dst = snd.dst_locality, tag] {
+          NLH_TRACE_SPAN_ARG("dist/pack_send", static_cast<std::uint64_t>(sender_sd));
           auto& strip = pack_scratch_[static_cast<std::size_t>(sender_sd)]
                                      [static_cast<std::size_t>(pack_dir)];
           blocks_[static_cast<std::size_t>(sender_sd)]->pack_into(tiling_, pack_dir,
@@ -313,6 +350,7 @@ void dist_solver::step() {
           w.write(strip);
           auto buf = w.take();
           ghost_bytes_.fetch_add(buf.size(), std::memory_order_relaxed);
+          ghost_msg_bytes_hist_.record(static_cast<double>(buf.size()));
           comm_.send(src, dst, tag, std::move(buf));
         }));
   }
@@ -325,6 +363,7 @@ void dist_solver::step() {
   for (const int sd : plan_.post_order) {
     aux_pending_.push_back(amt::async(
         *pools_[static_cast<std::size_t>(own_.owner(sd))], [this, sd, t_now] {
+          NLH_TRACE_SPAN_ARG("dist/aux", static_cast<std::uint64_t>(sd));
           const auto& blk = *blocks_[static_cast<std::size_t>(sd)];
           const nonlocal::dp_rect grect{
               blk.origin_row(), blk.origin_row() + tiling_.sd_size(),
@@ -350,14 +389,18 @@ void dist_solver::step() {
     // This stall is communication wait just like the end-of-step drain, so
     // it counts toward the same observable.
     support::stopwatch drain_sw;
-    for (int sd = 0; sd < tiling_.num_sds(); ++sd)
-      for (const auto& rv : plan_.sds[static_cast<std::size_t>(sd)].recvs)
-        unpack_ghost(sd, rv.dir,
-                     recv_slots_[static_cast<std::size_t>(rv.slot)].get());
+    {
+      NLH_TRACE_SPAN("dist/drain");
+      for (int sd = 0; sd < tiling_.num_sds(); ++sd)
+        for (const auto& rv : plan_.sds[static_cast<std::size_t>(sd)].recvs)
+          unpack_ghost(sd, rv.dir,
+                       recv_slots_[static_cast<std::size_t>(rv.slot)].get());
+    }
+    const double drained_s = drain_sw.elapsed_s();
+    drain_wait_hist_.record(drained_s);
     // Single writer (the serialized stepping thread): load+store suffices.
-    wait_seconds_.store(
-        wait_seconds_.load(std::memory_order_relaxed) + drain_sw.elapsed_s(),
-        std::memory_order_relaxed);
+    wait_seconds_.store(wait_seconds_.load(std::memory_order_relaxed) + drained_s,
+                        std::memory_order_relaxed);
   }
 
   for (const int sd : plan_.post_order) {
@@ -367,6 +410,7 @@ void dist_solver::step() {
     // Case 2: needs no foreign data — runs while messages are in flight.
     pending_.push_back(amt::async(pool, [this, sd, rect = sd_plan.split.interior,
                                          t_now] {
+      NLH_TRACE_SPAN_ARG("dist/interior", static_cast<std::uint64_t>(sd));
       compute_rect_counted(sd, rect, t_now, stat_interior_early_);
     }));
 
@@ -375,6 +419,7 @@ void dist_solver::step() {
         if (sd_plan.split.remote_strips.empty()) break;
         pending_.push_back(
             amt::async(pool, [this, sd, &strips = sd_plan.split.remote_strips, t_now] {
+              NLH_TRACE_SPAN_ARG("dist/strip", static_cast<std::uint64_t>(sd));
               for (const auto& rect : strips)
                 compute_rect_counted(sd, rect, t_now, stat_strips_early_);
             }));
@@ -396,6 +441,7 @@ void dist_solver::step() {
             pool, std::move(futs),
             [this, sd, dirs = std::move(dirs), &strips = sd_plan.split.remote_strips,
              t_now](std::vector<amt::future<net::byte_buffer>> ready) {
+              NLH_TRACE_SPAN_ARG("dist/strip", static_cast<std::uint64_t>(sd));
               for (std::size_t i = 0; i < ready.size(); ++i)
                 unpack_ghost(sd, dirs[i], ready[i].get());
               for (const auto& rect : strips)
@@ -408,6 +454,7 @@ void dist_solver::step() {
         // interior instead of waiting on any message.
         for (const auto& rect : sd_plan.ready_strips)
           pending_.push_back(amt::async(pool, [this, sd, rect, t_now] {
+            NLH_TRACE_SPAN_ARG("dist/strip", static_cast<std::uint64_t>(sd));
             compute_rect_counted(sd, rect, t_now, stat_strips_early_);
           }));
         // Case 1, per direction: each strip chains on exactly the unpack
@@ -417,6 +464,7 @@ void dist_solver::step() {
         // the owner's pool), so no extra task hop is paid.
         for (const auto& strip : sd_plan.strips) {
           auto compute = [this, sd, rect = strip.rect, t_now](amt::future<void>) {
+            NLH_TRACE_SPAN_ARG("dist/strip", static_cast<std::uint64_t>(sd));
             compute_rect_counted(sd, rect, t_now, stat_strips_early_);
           };
           if (strip.dep_slots.size() == 1) {
@@ -442,8 +490,13 @@ void dist_solver::step() {
   // 5. End-of-step drain. The stall measured here is the per-step
   // overlap/wait observable exposed through stats() and the api metrics.
   support::stopwatch sw;
-  for (auto& f : pending_) f.wait();
-  wait_seconds_.store(wait_seconds_.load(std::memory_order_relaxed) + sw.elapsed_s(),
+  {
+    NLH_TRACE_SPAN("dist/drain");
+    for (auto& f : pending_) f.wait();
+  }
+  const double drained_s = sw.elapsed_s();
+  drain_wait_hist_.record(drained_s);
+  wait_seconds_.store(wait_seconds_.load(std::memory_order_relaxed) + drained_s,
                       std::memory_order_relaxed);
 
   for (auto& blk : blocks_) blk->swap_fields();

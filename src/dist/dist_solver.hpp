@@ -56,6 +56,7 @@
 #include "dist/tiling.hpp"
 #include "net/comm_world.hpp"
 #include "nonlocal/influence.hpp"
+#include "obs/metrics.hpp"
 #include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/stencil.hpp"
 
@@ -168,6 +169,13 @@ class dist_solver {
   /// Snapshot of the cumulative overlap observables (see overlap_stats).
   overlap_stats stats() const;
 
+  /// Append this solver's distributed-layer instruments to `snap` under
+  /// `dist/...` names (ghost traffic counters, message-size and drain-wait
+  /// histograms, per-locality busy fractions, compiled-plan shape gauges).
+  /// Call serialized with step()/migrate_sd()/restore(), like gather() —
+  /// the api layer does so under its step lock.
+  void metrics_into(obs::metrics_snapshot& snap) const;
+
   /// Times this SD has been migrated since construction — the epoch mixed
   /// into migration tags so interleaved migrations of one SD can't
   /// cross-deliver.
@@ -274,6 +282,12 @@ class dist_solver {
 
   int step_ = 0;
   std::atomic<std::uint64_t> ghost_bytes_{0};
+
+  // Observability instruments (docs/observability.md): serialized ghost
+  // message sizes in bytes (recorded by pack/send tasks, mutex-guarded
+  // internally) and the stepping thread's per-step drain stall in seconds.
+  obs::histogram ghost_msg_bytes_hist_{obs::histogram_options{1.0, 1e9, 4}};
+  obs::histogram drain_wait_hist_;
 };
 
 }  // namespace nlh::dist

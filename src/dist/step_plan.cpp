@@ -69,6 +69,12 @@ step_plan compile_step_plan(const tiling& t, const ownership_map& own) {
                    "step_plan: fine strips must tile the coarse case-1 region");
   }
   plan.total_messages = slot;
+  for (const auto& sched : plan.sds) {
+    plan.total_strips += static_cast<int>(sched.strips.size());
+    plan.total_ready_strips += static_cast<int>(sched.ready_strips.size());
+    plan.total_local_fills += static_cast<int>(sched.local_fills.size());
+    if (sched.boundary) ++plan.boundary_sds;
+  }
 
   plan.post_order.reserve(static_cast<std::size_t>(t.num_sds()));
   for (int sd = 0; sd < t.num_sds(); ++sd)

@@ -67,6 +67,14 @@ struct step_plan {
   std::vector<plan_sd> sds;
   std::vector<plan_send> sends;  ///< every cross-locality message, send view
   std::vector<int> post_order;   ///< SD ids, boundary SDs first
+
+  // Aggregate schedule shape, totalled at compile time — exposed as
+  // `dist/plan/...` gauges and trace args by the observability layer so an
+  // exported snapshot states how much of the step was overlappable.
+  int total_strips = 0;        ///< fine case-1 strips with >= 1 remote dep
+  int total_ready_strips = 0;  ///< fine case-1 strips with no remote dep
+  int total_local_fills = 0;   ///< same-locality collar copies per step
+  int boundary_sds = 0;        ///< SDs with >= 1 cross-locality neighbor
 };
 
 /// Compile the schedule for `t` under `own`. Deterministic: the message

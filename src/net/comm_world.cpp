@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "amt/counters.hpp"
+#include "obs/tracer.hpp"
 #include "support/assert.hpp"
 
 namespace nlh::net {
@@ -41,6 +42,7 @@ void comm_world::send(int src, int dst, std::uint64_t tag, byte_buffer payload) 
   const auto idx = pair_index(src, dst);
   bytes_[idx].fetch_add(payload.size(), std::memory_order_relaxed);
   msgs_[idx].fetch_add(1, std::memory_order_relaxed);
+  NLH_TRACE_INSTANT("net/send", payload.size());
   if (delay_enabled_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lk(delay_m_);
     if (delay_model_) {
@@ -62,6 +64,7 @@ void comm_world::send(int src, int dst, std::uint64_t tag, byte_buffer payload) 
       }
     }
   }
+  NLH_TRACE_INSTANT("net/deliver", payload.size());
   boxes_[static_cast<std::size_t>(dst)]->deliver(src, tag, std::move(payload));
 }
 
@@ -102,6 +105,9 @@ void comm_world::timer_loop() {
     // Deliver outside the lock: fulfilling the parked receive runs its
     // continuations inline, which may send (and re-enter this mutex).
     lk.unlock();
+    // Delayed delivery lands here, not at send(): the trace shows the
+    // injected latency as the gap between net/send and net/deliver.
+    NLH_TRACE_INSTANT("net/deliver", m.payload.size());
     boxes_[static_cast<std::size_t>(m.dst)]->deliver(m.src, m.tag,
                                                      std::move(m.payload));
     lk.lock();

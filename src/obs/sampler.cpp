@@ -1,0 +1,75 @@
+///
+/// \file sampler.cpp
+/// \brief Periodic metrics sampler implementation.
+///
+
+#include "obs/sampler.hpp"
+
+#include <fstream>
+#include <iostream>
+
+namespace nlh::obs {
+
+periodic_sampler::periodic_sampler(std::chrono::milliseconds interval,
+                                   std::function<metrics_snapshot()> source)
+    : interval_(interval < std::chrono::milliseconds(1)
+                    ? std::chrono::milliseconds(1)
+                    : interval),
+      source_(std::move(source)),
+      start_(std::chrono::steady_clock::now()),
+      thread_([this] { loop(); }) {}
+
+periodic_sampler::~periodic_sampler() { stop(); }
+
+void periodic_sampler::loop() {
+  std::unique_lock<std::mutex> lk(m_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, interval_, [this] { return stop_; })) return;
+    // Sample outside the lock: the source may itself take locks (registry
+    // snapshots, solver stats) and must not block stop() meanwhile.
+    lk.unlock();
+    timed_snapshot ts;
+    ts.t_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    ts.metrics = source_();
+    lk.lock();
+    if (!stop_) samples_.push_back(std::move(ts));
+  }
+}
+
+void periodic_sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stop_) return;
+    stop_ = true;
+    // Final sample so short runs (< one interval) still export one point.
+    timed_snapshot ts;
+    ts.t_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    ts.metrics = source_();
+    samples_.push_back(std::move(ts));
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<timed_snapshot> periodic_sampler::samples() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return samples_;
+}
+
+bool periodic_sampler::write_json(const std::string& path) {
+  stop();
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "obs: cannot write metrics series to " << path << "\n";
+    return false;
+  }
+  const auto json = metrics_series_json(samples()) + "\n";
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+}  // namespace nlh::obs

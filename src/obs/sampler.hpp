@@ -1,0 +1,56 @@
+#pragma once
+///
+/// \file sampler.hpp
+/// \brief Periodic metrics sampler for long soaks: a background thread
+/// snapshots a caller-supplied source on a fixed interval, building the
+/// timestamped series `obs::metrics_series_json` exports
+/// (docs/observability.md).
+///
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_export.hpp"
+
+namespace nlh::obs {
+
+class periodic_sampler {
+ public:
+  /// Start sampling `source` every `interval` (first sample after one
+  /// interval). `source` runs on the sampler thread; it must be safe to
+  /// call concurrently with the workload (registry snapshots are).
+  periodic_sampler(std::chrono::milliseconds interval,
+                   std::function<metrics_snapshot()> source);
+  /// Stops and joins.
+  ~periodic_sampler();
+
+  periodic_sampler(const periodic_sampler&) = delete;
+  periodic_sampler& operator=(const periodic_sampler&) = delete;
+
+  /// Take one final sample, then stop the thread. Idempotent.
+  void stop();
+
+  /// Copy of the series collected so far.
+  std::vector<timed_snapshot> samples() const;
+
+  /// stop() + write the series to `path`; false on I/O failure.
+  bool write_json(const std::string& path);
+
+ private:
+  void loop();
+
+  std::chrono::milliseconds interval_;
+  std::function<metrics_snapshot()> source_;
+  std::chrono::steady_clock::time_point start_;
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<timed_snapshot> samples_;
+  std::thread thread_;  ///< last member: joined before state above dies
+};
+
+}  // namespace nlh::obs

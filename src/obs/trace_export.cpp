@@ -1,0 +1,105 @@
+///
+/// \file trace_export.cpp
+/// \brief Chrome Trace Event JSON serialization.
+///
+
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace nlh::obs {
+
+namespace {
+
+/// Event names are C++ identifiers-with-slashes by convention, but escape
+/// defensively: the exporter must never emit invalid JSON.
+void append_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, std::int64_t ns) {
+  // Microseconds with nanosecond precision kept as decimals.
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  out += buf;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<trace_event>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& thread_names) {
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& [tid, name] : thread_names) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"";
+    append_escaped(out, name.c_str());
+    out += "\"}}";
+  }
+  for (const auto& e : events) {
+    if (!e.name) continue;  // never recorded (defensive)
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":0,\"tid\":" + std::to_string(e.tid) + ",\"ts\":";
+    append_us(out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur_ns);
+    }
+    // Instant events default to thread scope; make it explicit so strict
+    // viewers render them.
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"args\":{\"v\":" + std::to_string(e.arg) + "}}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<trace_event>& events,
+                        const std::vector<std::pair<std::uint32_t, std::string>>&
+                            thread_names) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) {
+    std::cerr << "obs: cannot write trace to " << path << "\n";
+    return false;
+  }
+  const auto json = chrome_trace_json(events, thread_names);
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(f);
+}
+
+bool write_chrome_trace(const std::string& path) {
+  auto& t = tracer::instance();
+  return write_chrome_trace(path, t.snapshot(), t.thread_names());
+}
+
+}  // namespace nlh::obs

@@ -1,0 +1,34 @@
+#pragma once
+///
+/// \file trace_export.hpp
+/// \brief Chrome-tracing / Perfetto JSON exporter for recorded trace
+/// events: the output loads directly in chrome://tracing or ui.perfetto.dev
+/// (docs/observability.md).
+///
+
+#include <string>
+#include <vector>
+
+#include "obs/tracer.hpp"
+
+namespace nlh::obs {
+
+/// Serialize `events` into the Chrome Trace Event JSON object format:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`. Complete events carry
+/// `ph:"X"` with microsecond `ts`/`dur`; named threads become `ph:"M"`
+/// thread_name metadata records.
+std::string chrome_trace_json(
+    const std::vector<trace_event>& events,
+    const std::vector<std::pair<std::uint32_t, std::string>>& thread_names = {});
+
+/// Snapshot the process tracer and write it to `path`; false (with a
+/// message on stderr) when the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+/// Write an explicit event list (tests / partial snapshots).
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<trace_event>& events,
+                        const std::vector<std::pair<std::uint32_t, std::string>>&
+                            thread_names = {});
+
+}  // namespace nlh::obs

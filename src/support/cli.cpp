@@ -1,5 +1,6 @@
 #include "support/cli.hpp"
 
+#include <cctype>
 #include <cstdlib>
 #include <limits>
 
@@ -57,6 +58,29 @@ bool cli::get_bool(const std::string& key, bool def) const {
   const auto it = kv_.find(key);
   if (it == kv_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool cli::get_flag(const std::string& key, bool def) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  std::string v = it->second;
+  for (auto& c : v) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return def;  // malformed value keeps the default, like get_int/get_double
+}
+
+std::string cli::get_string(const std::string& key, const std::string& def,
+                            const std::vector<std::string>& allowed) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return def;
+  for (const auto& a : allowed)
+    if (it->second == a) return it->second;
+  return def;  // value outside the closed set keeps the default
+}
+
+std::string cli::get_string(const std::string& key, const std::string& def) const {
+  return get(key, def);
 }
 
 }  // namespace nlh::support

@@ -21,6 +21,21 @@ class cli {
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 
+  /// Hardened boolean: recognizes true/1/yes/on and false/0/no/off (any
+  /// case); anything else keeps the default instead of silently reading as
+  /// false the way get_bool does (same malformed-input contract as
+  /// get_int/get_double).
+  bool get_flag(const std::string& key, bool def) const;
+
+  /// get() with a closed value set: returns the stored value only when it
+  /// is one of `allowed`, otherwise the default — so a typo'd
+  /// `--policy priorty` keeps the documented default instead of silently
+  /// selecting an unintended branch in hand-rolled string comparisons.
+  std::string get_string(const std::string& key, const std::string& def,
+                         const std::vector<std::string>& allowed) const;
+  /// Unvalidated synonym for get(), for symmetry with the typed getters.
+  std::string get_string(const std::string& key, const std::string& def) const;
+
   /// Positional arguments (anything not starting with --).
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -56,6 +56,26 @@ TEST_F(CounterRegistryTest, PathsMatching) {
   EXPECT_EQ(reg.paths_matching("").size(), 3u);
 }
 
+TEST_F(CounterRegistryTest, TryValueReadsRegisteredPath) {
+  auto& reg = amt::counter_registry::instance();
+  double value = 3.75;
+  reg.register_counter("/test/a", [&] { return value; }, [&] { value = 0.0; });
+  const auto v = reg.try_value("/test/a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(*v, 3.75);
+}
+
+TEST_F(CounterRegistryTest, TryValueReturnsNulloptForMissingPath) {
+  auto& reg = amt::counter_registry::instance();
+  EXPECT_FALSE(reg.try_value("/never/registered").has_value());
+  // The aborting accessor still aborts/throws by contract; the balancer
+  // polls through try_value precisely to avoid racing unregister_counter.
+  reg.register_counter("/test/gone", [] { return 1.0; }, [] {});
+  EXPECT_TRUE(reg.try_value("/test/gone").has_value());
+  reg.unregister_counter("/test/gone");
+  EXPECT_FALSE(reg.try_value("/test/gone").has_value());
+}
+
 TEST_F(CounterRegistryTest, UnregisterRemoves) {
   auto& reg = amt::counter_registry::instance();
   reg.register_counter("/gone", [] { return 1.0; }, [] {});
