@@ -8,12 +8,18 @@
 /// Usage: batch_service [--n 32] [--eps-factor 2] [--steps 5] [--sd-grid 4]
 ///                      [--nodes 2] [--pool-threads 4] [--cap 3]
 ///                      [--policy fifo|priority] [--json PATH] [--soak]
-///                      [--trace-out PATH] [--metrics-out PATH]
+///                      [--auto-rebalance] [--trace-out PATH]
+///                      [--metrics-out PATH]
 ///
 /// `--soak` switches to the ROADMAP stress configuration — 16x16 SDs on 8
 /// localities for hundreds of steps, distributed jobs across every
 /// scenario x backend — which the nightly CI job runs, uploading the
 /// `--json` metrics file as an artifact.
+///
+/// `--auto-rebalance` (default on under --soak) turns on live Algorithm 1
+/// rebalancing (docs/balance.md) for every distributed job; the rebalance
+/// observables then land in `--metrics-out` as
+/// `api/job/<label>/balance/...`, which the nightly soak asserts on.
 ///
 /// `--trace-out` enables span tracing for the whole batch and writes a
 /// Chrome-tracing / Perfetto JSON timeline; `--metrics-out` writes the
@@ -99,6 +105,7 @@ int main(int argc, char** argv) {
   const int steps = cli.get_int("steps", soak ? 200 : 5);
   const int sd_grid = cli.get_int("sd-grid", soak ? 16 : 4);
   const int nodes = cli.get_int("nodes", soak ? 8 : 2);
+  const bool auto_rebalance = cli.get_flag("auto-rebalance", soak);
   const std::string json_path = cli.get("json", "");
   const std::string trace_path = cli.get("trace-out", "");
   const std::string metrics_path = cli.get("metrics-out", "");
@@ -138,6 +145,16 @@ int main(int argc, char** argv) {
         job.options.mode = std::string(mode) == "serial"
                                ? api::execution_mode::serial
                                : api::execution_mode::distributed;
+        if (auto_rebalance &&
+            job.options.mode == api::execution_mode::distributed) {
+          // Live Algorithm 1 loop on every distributed tenant: sample every
+          // 10 steps, act on >= 1 SD of imbalance, damped against noise.
+          job.options.auto_rebalance.enabled = true;
+          job.options.auto_rebalance.interval = 10;
+          job.options.auto_rebalance.trigger = 1.0;
+          job.options.auto_rebalance.deadband = 0.5;
+          job.options.auto_rebalance.cooldown = 1;
+        }
         job.label = scn + "/" + backend + "/" + mode;
         if (!soak) {
           const std::string key = scn + "/" + backend + "/" + mode;
@@ -159,7 +176,9 @@ int main(int argc, char** argv) {
             << n << " mesh, " << sd_grid << "x" << sd_grid << " SDs, " << nodes
             << " localities, " << steps << " steps; cap "
             << bopt.max_concurrent_jobs << " over " << bopt.pool_threads
-            << " pool threads\n\n";
+            << " pool threads"
+            << (auto_rebalance ? "; auto-rebalance on distributed jobs" : "")
+            << "\n\n";
 
   api::batch_runner runner(bopt);
   auto futures = runner.submit_all(std::move(jobs));

@@ -146,6 +146,11 @@ void batch_runner::execute(queued_job qj) {
         agg_.total_steps += steps_done;
         agg_.ghost_bytes += res.metrics.ghost_bytes;
         job_step_latency_.emplace_back(res.label, res.metrics.step_latency);
+        if (qj.job.options.auto_rebalance.enabled)
+          job_rebalance_.push_back({res.label, res.metrics.rebalance_epochs,
+                                    res.metrics.rebalance_moves,
+                                    res.metrics.rebalance_imbalance_before,
+                                    res.metrics.rebalance_imbalance_after});
       } else {
         ++agg_.jobs_failed;
       }
@@ -202,6 +207,13 @@ obs::metrics_snapshot batch_runner::metrics_snapshot() const {
     std::lock_guard<std::mutex> lk(mu_);
     for (const auto& [label, s] : job_step_latency_)
       snap.add_histogram("api/job/" + label + "/step_latency_seconds", s);
+    for (const auto& jr : job_rebalance_) {
+      const std::string base = "api/job/" + jr.label + "/balance/";
+      snap.add_counter(base + "epochs", jr.epochs);
+      snap.add_counter(base + "moves", jr.moves);
+      snap.add_gauge(base + "imbalance_before", jr.imbalance_before);
+      snap.add_gauge(base + "imbalance_after", jr.imbalance_after);
+    }
   }
   // Live AGAS counter paths (pool busy times, comm traffic) ride along so
   // one exported file carries the whole process view.

@@ -162,6 +162,18 @@ class batch_runner {
   obs::histogram queue_wait_hist_;
   obs::histogram job_duration_hist_;
   std::vector<std::pair<std::string, obs::histogram_summary>> job_step_latency_;
+  /// Per-job auto-rebalancing observables (guarded by mu_), recorded only
+  /// for jobs that ran with `auto_rebalance.enabled` — exported as
+  /// `api/job/<label>/balance/...` so a soak's metrics JSON proves the live
+  /// rebalancer ran (docs/balance.md).
+  struct job_rebalance {
+    std::string label;
+    std::uint64_t epochs = 0;
+    std::uint64_t moves = 0;
+    double imbalance_before = 0.0;
+    double imbalance_after = 0.0;
+  };
+  std::vector<job_rebalance> job_rebalance_;
   amt::thread_pool pool_;  ///< last member: joins before the state above dies
 };
 

@@ -46,6 +46,8 @@ class solver_impl {
   virtual double comm_wait_seconds() const { return 0.0; }
   virtual std::uint64_t overlap_early_tasks() const { return 0; }
   virtual bool distributed() const { return false; }
+  /// Auto-rebalancing observables (all-zero serial / when disabled).
+  virtual balance::rebalance_stats rebalance_stats() const { return {}; }
   /// Append backend-specific instruments to a metrics snapshot (serial has
   /// none beyond what runtime_metrics already carries).
   virtual void metrics_into(obs::metrics_snapshot&) const {}
@@ -123,6 +125,9 @@ class dist_impl final : public solver_impl {
     return s.interior_early + s.strips_early;
   }
   bool distributed() const override { return true; }
+  balance::rebalance_stats rebalance_stats() const override {
+    return solver_.rebalance_stats();
+  }
   void metrics_into(obs::metrics_snapshot& snap) const override {
     solver_.metrics_into(snap);
   }
@@ -143,6 +148,7 @@ class dist_impl final : public solver_impl {
     if (const auto s = dist::parse_overlap_schedule(o.overlap_schedule))
       cfg.schedule = *s;
     cfg.backend = resolve_backend(o);
+    cfg.rebalance = o.auto_rebalance;
     return cfg;
   }
 
@@ -273,6 +279,11 @@ runtime_metrics solver_handle::metrics_locked() const {
   m.overlap_early_tasks = impl_->overlap_early_tasks();
   m.is_distributed = impl_->distributed();
   m.step_latency = step_latency_hist_.summary();
+  const auto rs = impl_->rebalance_stats();
+  m.rebalance_epochs = rs.epochs;
+  m.rebalance_moves = rs.moves;
+  m.rebalance_imbalance_before = rs.last_imbalance_before;
+  m.rebalance_imbalance_after = rs.last_imbalance_after;
   return m;
 }
 
@@ -372,6 +383,17 @@ std::vector<std::string> session::validate_resolved(const session_options& opt,
       << "'; valid: scalar, row_run, simd (empty keeps the process default)";
     err(m);
   }
+
+  if (opt.mode == execution_mode::serial && opt.auto_rebalance.enabled) {
+    std::ostringstream m;
+    m << "session_options.auto_rebalance: live rebalancing needs the "
+         "distributed backend (mode = serial has a single locality and "
+         "nothing to rebalance)";
+    err(m);
+  }
+  for (auto& e : balance::validate_rebalance_policy(
+           opt.auto_rebalance, "session_options.auto_rebalance."))
+    errs.push_back(std::move(e));
 
   if (opt.mode == execution_mode::distributed) {
     if (opt.sd_grid < 1) {

@@ -35,6 +35,7 @@
 #include "amt/future.hpp"
 #include "amt/thread_pool.hpp"
 #include "api/scenario.hpp"
+#include "balance/policy.hpp"
 #include "dist/domain_mask.hpp"
 #include "dist/ownership.hpp"
 #include "dist/tiling.hpp"
@@ -91,6 +92,13 @@ struct session_options {
   /// `overlap_communication = false` forces bulk_sync (docs/overlap.md).
   std::string overlap_schedule = "per_direction";
   partition_strategy partitioner = partition_strategy::multilevel;
+  /// Live Algorithm 1 auto-rebalancing (docs/balance.md): when enabled the
+  /// distributed solver samples per-locality busy time every
+  /// `auto_rebalance.interval` steps and migrates SDs whenever the measured
+  /// imbalance reaches the trigger. Distributed mode only — validation
+  /// rejects an enabled policy in serial mode (there is nothing to
+  /// rebalance). Disabled (the default) keeps the static partition.
+  balance::rebalance_policy auto_rebalance;
 
   // --- Kernel backend ------------------------------------------------------
   /// "scalar", "row_run" or "simd"; pins *this session's* kernel backend
@@ -146,6 +154,17 @@ struct runtime_metrics {
   /// every step records into a per-handle histogram regardless of backend,
   /// so p50/p99 step latency is comparable serial vs distributed.
   obs::histogram_summary step_latency;
+  /// Live auto-rebalancing observables (docs/balance.md); genuine zeros
+  /// when `session_options::auto_rebalance` was disabled or the backend is
+  /// serial. Epochs are the rebalance checks whose imbalance reached the
+  /// trigger; moves are the SD migrations they performed. The imbalance
+  /// pair is max_i |LoadImbalance(N_i)| (eq. 9, in SD units) at the last
+  /// check, before and after that check's redistribution (equal when no
+  /// epoch fired).
+  std::uint64_t rebalance_epochs = 0;
+  std::uint64_t rebalance_moves = 0;
+  double rebalance_imbalance_before = 0.0;
+  double rebalance_imbalance_after = 0.0;
 };
 
 /// Internal polymorphic solver body (serial / distributed); defined in

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "support/assert.hpp"
 
@@ -23,7 +24,17 @@ balance_report balance_step(const dist::tiling& t, dist::ownership_map& own,
   // Working copy updated as transfers happen (Algorithm 1 lines 21-33).
   std::vector<double> imb = rep.imbalance;
 
+  // Remaining move budget under opts.max_moves (0 = unlimited). Checked
+  // before each transfer_sds so `own` never moves an SD the report (and the
+  // migrate callbacks) wouldn't account for.
+  const auto budget_left = [&]() {
+    return opts.max_moves > 0
+               ? opts.max_moves - static_cast<int>(rep.moves.size())
+               : std::numeric_limits<int>::max();
+  };
+
   for (int i : rep.tree.order) {
+    if (budget_left() <= 0) break;
     auto kids = rep.tree.children[static_cast<std::size_t>(i)];
     if (kids.empty()) continue;
     const double imb_i = imb[static_cast<std::size_t>(i)];
@@ -49,12 +60,13 @@ balance_report balance_step(const dist::tiling& t, dist::ownership_map& own,
       const int m = kids[ki];
       imb[static_cast<std::size_t>(m)] -= share;
       const int n = (total / L) + (static_cast<int>(ki) < total % L ? 1 : 0);
-      if (n == 0 || remaining == 0) continue;
+      const int want = std::min({n, remaining, budget_left()});
+      if (want <= 0) continue;
       // imb_i > 0: node i is under-loaded and borrows from the child;
       // imb_i < 0: node i lends to the child.
       const int from = imb_i > 0 ? m : i;
       const int to = imb_i > 0 ? i : m;
-      auto moves = transfer_sds(t, own, from, to, std::min(n, remaining));
+      auto moves = transfer_sds(t, own, from, to, want);
       remaining -= static_cast<int>(moves.size());
       for (const auto& mv : moves) {
         if (migrate) migrate(mv);

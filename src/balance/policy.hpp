@@ -1,0 +1,88 @@
+#pragma once
+///
+/// \file policy.hpp
+/// \brief The online auto-rebalancing policy knob set (docs/balance.md).
+///
+/// Deliberately dependency-free: `dist::dist_config` and
+/// `api::session_options` both embed a `rebalance_policy` by value, so this
+/// header must not pull the balance machinery (or anything from dist/) into
+/// the config surface. The knobs parameterize when the live Algorithm 1
+/// loop inside `dist_solver` fires and how hard it is allowed to act; the
+/// loop itself lives in `balance::auto_rebalancer`.
+///
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nlh::balance {
+
+/// When and how hard the live rebalancer acts. The defaults are
+/// conservative: check every 10 steps, fire only on a >= 1 SD imbalance,
+/// and wait one further check after an epoch that moved SDs before acting
+/// again (docs/balance.md discusses each knob).
+struct rebalance_policy {
+  /// Master switch; everything below is ignored when false.
+  bool enabled = false;
+  /// Steps between imbalance checks (the busy-time measurement window).
+  int interval = 10;
+  /// An epoch fires when max_i |LoadImbalance(N_i)| (eq. 9, in SD units)
+  /// reaches this. 0 fires on every check (test/bench forcing).
+  double trigger = 1.0;
+  /// Per-node deadband of Algorithm 1 (balance_options::deadband): nodes
+  /// whose |imbalance| is below this many SDs are left alone. The
+  /// hysteresis half of the anti-ping-pong pair.
+  double deadband = 0.5;
+  /// Hard cap on SD migrations per epoch; 0 = unlimited
+  /// (balance_options::max_moves).
+  int max_moves = 0;
+  /// Checks skipped after an epoch that moved at least one SD — the
+  /// rate-limiting half of the anti-ping-pong pair. Busy windows keep
+  /// resetting during the cooldown, so the first post-cooldown check
+  /// measures a clean interval.
+  int cooldown = 1;
+};
+
+/// Cumulative observables of one auto_rebalancer (mirrored into the
+/// `balance/*` metrics family and api::runtime_metrics).
+struct rebalance_stats {
+  std::uint64_t checks = 0;  ///< interval boundaries where busy time was sampled
+  std::uint64_t epochs = 0;  ///< checks whose imbalance reached the trigger
+  std::uint64_t moves = 0;   ///< SDs migrated across all epochs
+  /// max_i |imbalance| at the last check (SD units), and the same quantity
+  /// recomputed after the last epoch's migrations (unchanged counts when no
+  /// epoch fired at that check).
+  double last_imbalance_before = 0.0;
+  double last_imbalance_after = 0.0;
+};
+
+/// All validation failures of `p`, each message prefixed with
+/// `field_prefix` + the offending knob name (e.g.
+/// "dist_config.rebalance.interval: ..."); empty = valid. Only meaningful
+/// knobs are checked when `p.enabled` is false (a disabled policy is always
+/// valid — the historical zero-initialized config stays accepted).
+inline std::vector<std::string> validate_rebalance_policy(
+    const rebalance_policy& p, const std::string& field_prefix) {
+  std::vector<std::string> errs;
+  if (!p.enabled) return errs;
+  if (p.interval < 1)
+    errs.push_back(field_prefix + "interval: must be at least 1 step (got " +
+                   std::to_string(p.interval) + ")");
+  if (p.trigger < 0.0)
+    errs.push_back(field_prefix +
+                   "trigger: must be non-negative SDs of imbalance (got " +
+                   std::to_string(p.trigger) + ")");
+  if (p.deadband < 0.0)
+    errs.push_back(field_prefix + "deadband: must be non-negative (got " +
+                   std::to_string(p.deadband) + ")");
+  if (p.max_moves < 0)
+    errs.push_back(field_prefix +
+                   "max_moves: must be non-negative; 0 means unlimited (got " +
+                   std::to_string(p.max_moves) + ")");
+  if (p.cooldown < 0)
+    errs.push_back(field_prefix + "cooldown: must be non-negative (got " +
+                   std::to_string(p.cooldown) + ")");
+  return errs;
+}
+
+}  // namespace nlh::balance

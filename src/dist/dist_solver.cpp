@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "amt/async.hpp"
+#include "balance/auto_rebalancer.hpp"
 #include "net/serializer.hpp"
 #include "nonlocal/nonlocal_operator.hpp"
 #include "obs/tracer.hpp"
@@ -95,6 +96,9 @@ std::vector<std::string> validate(const dist_config& cfg) {
       << cfg.threads_per_locality << ")";
     err(m);
   }
+  for (auto& e : balance::validate_rebalance_policy(cfg.rebalance,
+                                                    "dist_config.rebalance."))
+    errs.push_back(std::move(e));
   return errs;
 }
 
@@ -155,6 +159,15 @@ dist_solver::dist_solver(const dist_config& cfg, ownership_map own,
   migration_epoch_.assign(static_cast<std::size_t>(tiling_.num_sds()), 0);
 
   if (cfg_.backend) kernel_plan_.set_backend(*cfg_.backend);
+  if (cfg_.rebalance.enabled)
+    rebalancer_ = std::make_unique<balance::auto_rebalancer>(cfg_.rebalance);
+}
+
+// Out of line: ~unique_ptr<balance::auto_rebalancer> needs the complete type.
+dist_solver::~dist_solver() = default;
+
+balance::rebalance_stats dist_solver::rebalance_stats() const {
+  return rebalancer_ ? rebalancer_->stats() : balance::rebalance_stats{};
 }
 
 net::byte_buffer dist_solver::acquire_buffer() {
@@ -223,6 +236,7 @@ void dist_solver::metrics_into(obs::metrics_snapshot& snap) const {
   snap.add_gauge("dist/step/wait_seconds",
                  wait_seconds_.load(std::memory_order_relaxed));
   snap.add_gauge("dist/step/current", static_cast<double>(step_));
+  snap.add_counter("dist/plan/compiles", plan_compiles_);
   snap.add_histogram("dist/ghost/message_bytes", ghost_msg_bytes_hist_.summary());
   snap.add_histogram("dist/step/drain_wait_seconds", drain_wait_hist_.summary());
   for (int l = 0; l < own_.num_nodes(); ++l)
@@ -241,11 +255,20 @@ void dist_solver::metrics_into(obs::metrics_snapshot& snap) const {
     snap.add_gauge("dist/plan/boundary_sds",
                    static_cast<double>(plan_.boundary_sds));
   }
+  if (rebalancer_) {
+    const auto& rs = rebalancer_->stats();
+    snap.add_counter("balance/checks", rs.checks);
+    snap.add_counter("balance/epochs", rs.epochs);
+    snap.add_counter("balance/moves", rs.moves);
+    snap.add_gauge("balance/imbalance_before", rs.last_imbalance_before);
+    snap.add_gauge("balance/imbalance_after", rs.last_imbalance_after);
+  }
 }
 
 void dist_solver::ensure_plan() {
   if (!plan_dirty_) return;
   plan_ = compile_step_plan(tiling_, own_);
+  ++plan_compiles_;
   NLH_TRACE_INSTANT("dist/plan_compile",
                     static_cast<std::uint64_t>(plan_.total_messages));
   recv_slots_.assign(static_cast<std::size_t>(plan_.total_messages),
@@ -501,6 +524,12 @@ void dist_solver::step() {
 
   for (auto& blk : blocks_) blk->swap_fields();
   ++step_;
+
+  // 6. The live Algorithm 1 loop (docs/balance.md): with the step fully
+  // drained and the fields swapped, ownership can change safely — any
+  // migrations it performs dirty the plan, which recompiles at the top of
+  // the next step.
+  if (rebalancer_) rebalancer_->on_step(*this);
 }
 
 void dist_solver::compute_rect_counted(int sd, const nonlocal::dp_rect& rect,
@@ -532,6 +561,11 @@ std::vector<double> dist_solver::gather() const {
 double dist_solver::busy_fraction(int locality) const {
   NLH_ASSERT(locality >= 0 && locality < own_.num_nodes());
   return pools_[static_cast<std::size_t>(locality)]->busy_fraction();
+}
+
+double dist_solver::busy_seconds(int locality) const {
+  NLH_ASSERT(locality >= 0 && locality < own_.num_nodes());
+  return pools_[static_cast<std::size_t>(locality)]->busy_time_s();
 }
 
 void dist_solver::reset_busy_counters() {

@@ -50,6 +50,7 @@
 
 #include "amt/thread_pool.hpp"
 #include "api/scenario.hpp"
+#include "balance/policy.hpp"
 #include "dist/ownership.hpp"
 #include "dist/sd_block.hpp"
 #include "dist/step_plan.hpp"
@@ -59,6 +60,10 @@
 #include "obs/metrics.hpp"
 #include "nonlocal/kernel/stencil_plan.hpp"
 #include "nonlocal/stencil.hpp"
+
+namespace nlh::balance {
+class auto_rebalancer;
+}
 
 namespace nlh::dist {
 
@@ -99,6 +104,12 @@ struct dist_config {
   /// Kernel backend this solver's plan is pinned to; nullopt keeps the
   /// plan following the process default (the historical behaviour).
   std::optional<nonlocal::kernel_backend> backend;
+  /// Live Algorithm 1 policy (docs/balance.md): when enabled, the solver
+  /// owns a balance::auto_rebalancer and runs it after every completed
+  /// step, migrating SDs between its own localities whenever the measured
+  /// busy-time imbalance reaches the trigger. Disabled (the default) keeps
+  /// the historical static partition.
+  balance::rebalance_policy rebalance;
 };
 
 /// All validation failures of `cfg`, each naming the offending field
@@ -126,6 +137,7 @@ class dist_solver {
   /// Throws std::invalid_argument when validate(cfg) reports problems.
   dist_solver(const dist_config& cfg, ownership_map own,
               std::shared_ptr<const api::scenario> scn = nullptr);
+  ~dist_solver();
 
   dist_solver(const dist_solver&) = delete;
   dist_solver& operator=(const dist_solver&) = delete;
@@ -185,9 +197,33 @@ class dist_solver {
   /// lazily on the first step after construction/migration/restore.
   const step_plan& plan();
 
+  /// Times ensure_plan() actually recompiled the step plan since
+  /// construction. Stays at 1 across any number of steps on a static
+  /// partition and grows only by epochs that really moved SDs — the cheap
+  /// observable auto_rebalance_test uses to prove rebalancing does not
+  /// invalidate the cached plan spuriously.
+  std::uint64_t plan_compiles() const { return plan_compiles_; }
+
+  /// The live rebalancer, or null when dist_config::rebalance.enabled was
+  /// false. Exposed so tests/benches can inject a synthetic busy-time
+  /// sampler or observe per-epoch reports; call only serialized with
+  /// step(), like gather().
+  balance::auto_rebalancer* rebalancer() { return rebalancer_.get(); }
+  const balance::auto_rebalancer* rebalancer() const { return rebalancer_.get(); }
+
+  /// Cumulative auto-rebalancing observables; all-zero when rebalancing is
+  /// disabled.
+  balance::rebalance_stats rebalance_stats() const;
+
   /// Busy-time fraction of one locality's pool since the last reset — the
   /// observable Algorithm 1 consumes.
   double busy_fraction(int locality) const;
+  /// Cumulative busy seconds of the same pool since the last reset
+  /// (busy_fraction's numerator). Per measurement window, the max over
+  /// localities is the window's critical path — what the balance gate
+  /// bench sums into a makespan model that oversubscribed CI boxes cannot
+  /// distort the way raw wall-clock is distorted.
+  double busy_seconds(int locality) const;
   void reset_busy_counters();
 
   /// Move one SD to `to_node`: its field travels through the network as a
@@ -260,6 +296,13 @@ class dist_solver {
   // vectors the pre-plan step() allocated every call.
   step_plan plan_;
   bool plan_dirty_ = true;
+  std::uint64_t plan_compiles_ = 0;
+
+  /// The live Algorithm 1 loop (docs/balance.md); null unless
+  /// cfg_.rebalance.enabled. step() calls its on_step() after the field
+  /// swap, so migrations land between steps and the recompiled plan is
+  /// what the next step executes.
+  std::unique_ptr<balance::auto_rebalancer> rebalancer_;
   std::vector<amt::future<net::byte_buffer>> recv_slots_;  ///< per message
   std::vector<amt::future<void>> ghost_ready_;  ///< per message: unpack done
   std::vector<amt::future<void>> pending_;      ///< end-of-step drain set

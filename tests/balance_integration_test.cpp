@@ -193,3 +193,59 @@ TEST(RealSolverBalancing, BusyDrivenMigrationKeepsSolutionCorrect) {
   // The ownership recorded in the solver matches the copy the balancer made.
   EXPECT_EQ(solver.owners().raw(), own_copy.raw());
 }
+
+TEST(BalanceStepContract, MigrateCallbackMatchesReportedMovesInOrder) {
+  // The documented migrate-callback contract (balancer.hpp): exactly one
+  // synchronous invocation per move, in exactly balance_report::moves
+  // order, with identical values — the property the live auto_rebalancer
+  // relies on to keep the solver's ownership in lockstep with the report.
+  dist::tiling t(5, 5, 4, 1);
+  auto own = fig14_start(t);
+  const std::vector<double> busy{0.9, 0.1, 0.1, 0.1};
+
+  std::vector<bal::sd_move> seen;
+  const auto rep = bal::balance_step(t, own, busy, {},
+                                     [&](const bal::sd_move& m) {
+                                       seen.push_back(m);
+                                     });
+
+  ASSERT_FALSE(rep.moves.empty());
+  ASSERT_EQ(seen.size(), rep.moves.size());
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].sd, rep.moves[i].sd) << "callback order diverged at " << i;
+    EXPECT_EQ(seen[i].from_node, rep.moves[i].from_node);
+    EXPECT_EQ(seen[i].to_node, rep.moves[i].to_node);
+    EXPECT_NE(seen[i].from_node, seen[i].to_node);
+  }
+}
+
+TEST(BalanceStepContract, MaxMovesCapsMovesAndKeepsReportConsistent) {
+  dist::tiling t(5, 5, 4, 1);
+  const std::vector<double> busy{0.9, 0.1, 0.1, 0.1};
+
+  // Uncapped run for reference: the imbalanced start needs many moves.
+  auto own_free = fig14_start(t);
+  const auto rep_free = bal::balance_step(t, own_free, busy, {});
+  ASSERT_GT(rep_free.moves.size(), 3u);
+
+  bal::balance_options opts;
+  opts.max_moves = 3;
+  auto own = fig14_start(t);
+  int callbacks = 0;
+  const auto rep = bal::balance_step(t, own, busy, opts,
+                                     [&](const bal::sd_move&) { ++callbacks; });
+
+  // The cap binds, the callback count matches, and the capped prefix is
+  // exactly what the uncapped walk would have done first.
+  EXPECT_EQ(rep.moves.size(), 3u);
+  EXPECT_EQ(callbacks, 3);
+  for (std::size_t i = 0; i < rep.moves.size(); ++i) {
+    EXPECT_EQ(rep.moves[i].sd, rep_free.moves[i].sd);
+    EXPECT_EQ(rep.moves[i].to_node, rep_free.moves[i].to_node);
+  }
+  // sd_counts_after reflects the capped ownership, conserving the total.
+  EXPECT_EQ(rep.sd_counts_after, own.sd_counts());
+  int total = 0;
+  for (int c : rep.sd_counts_after) total += c;
+  EXPECT_EQ(total, t.num_sds());
+}
