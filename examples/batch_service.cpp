@@ -8,13 +8,23 @@
 /// Usage: batch_service [--n 32] [--eps-factor 2] [--steps 5] [--sd-grid 4]
 ///                      [--nodes 2] [--pool-threads 4] [--cap 3]
 ///                      [--policy fifo|priority] [--json PATH] [--soak]
-///                      [--auto-rebalance] [--trace-out PATH]
-///                      [--metrics-out PATH]
+///                      [--auto-rebalance] [--hibernate] [--resident-cap 3]
+///                      [--rounds N] [--trace-out PATH] [--metrics-out PATH]
 ///
 /// `--soak` switches to the ROADMAP stress configuration — 16x16 SDs on 8
 /// localities for hundreds of steps, distributed jobs across every
 /// scenario x backend — which the nightly CI job runs, uploading the
 /// `--json` metrics file as an artifact.
+///
+/// `--hibernate` (default on under --soak) makes every job a *persistent
+/// tenant* (batch_job::session_key) and turns on LRU hibernation to cold
+/// storage with at most `--resident-cap` tenant sessions in memory
+/// (docs/checkpoint.md). Each tenant's step budget is split across
+/// `--rounds` jobs (default 2 when hibernating), so parked tenants really
+/// hibernate between rounds and restore transparently on their next job —
+/// the serial/distributed bitwise cross-check still passing is the demo's
+/// proof that the round trip is invisible. The `ckpt/*` observables land
+/// in `--metrics-out`, which the nightly soak asserts on.
 ///
 /// `--auto-rebalance` (default on under --soak) turns on live Algorithm 1
 /// rebalancing (docs/balance.md) for every distributed job; the rebalance
@@ -106,6 +116,9 @@ int main(int argc, char** argv) {
   const int sd_grid = cli.get_int("sd-grid", soak ? 16 : 4);
   const int nodes = cli.get_int("nodes", soak ? 8 : 2);
   const bool auto_rebalance = cli.get_flag("auto-rebalance", soak);
+  const bool hibernate = cli.get_flag("hibernate", soak);
+  const int resident_cap = cli.get_int("resident-cap", 3);
+  const int rounds = std::max(1, cli.get_int("rounds", hibernate ? 2 : 1));
   const std::string json_path = cli.get("json", "");
   const std::string trace_path = cli.get("trace-out", "");
   const std::string metrics_path = cli.get("metrics-out", "");
@@ -119,6 +132,10 @@ int main(int argc, char** argv) {
   bopt.admission = cli.get_string("policy", "fifo", {"fifo", "priority"}) == "priority"
                        ? api::admission_policy::priority
                        : api::admission_policy::fifo;
+  if (hibernate) {
+    bopt.hibernation.enabled = true;
+    bopt.hibernation.resident_cap = static_cast<std::size_t>(resident_cap);
+  }
 
   const std::vector<std::string> scenarios = {"manufactured", "gaussian_pulse",
                                               "lshape", "crack"};
@@ -130,45 +147,54 @@ int main(int argc, char** argv) {
   std::map<std::string, captured_field> fields;
 
   std::vector<api::batch_job> jobs;
-  for (const auto& scn : scenarios)
-    for (const auto& backend : backends) {
-      for (const char* mode : {"serial", "distributed"}) {
-        if (soak && std::string(mode) == "serial") continue;  // soak is all-dist
-        api::batch_job job;
-        job.options.scenario = scn;
-        job.options.kernel_backend = backend;
-        job.options.n = n;
-        job.options.epsilon_factor = eps;
-        job.options.num_steps = steps;
-        job.options.sd_grid = sd_grid;
-        job.options.nodes = nodes;
-        job.options.mode = std::string(mode) == "serial"
-                               ? api::execution_mode::serial
-                               : api::execution_mode::distributed;
-        if (auto_rebalance &&
-            job.options.mode == api::execution_mode::distributed) {
-          // Live Algorithm 1 loop on every distributed tenant: sample every
-          // 10 steps, act on >= 1 SD of imbalance, damped against noise.
-          job.options.auto_rebalance.enabled = true;
-          job.options.auto_rebalance.interval = 10;
-          job.options.auto_rebalance.trigger = 1.0;
-          job.options.auto_rebalance.deadband = 0.5;
-          job.options.auto_rebalance.cooldown = 1;
-        }
-        job.label = scn + "/" + backend + "/" + mode;
-        if (!soak) {
+  // Round-major submission order: round 0 of *every* tenant runs before any
+  // round 1, so under --hibernate the whole roster cycles through the
+  // resident cap between rounds — each tenant is parked, LRU-evicted to
+  // cold storage and transparently restored by its next round's job.
+  for (int round = 0; round < rounds; ++round)
+    for (const auto& scn : scenarios)
+      for (const auto& backend : backends)
+        for (const char* mode : {"serial", "distributed"}) {
+          if (soak && std::string(mode) == "serial") continue;  // all-dist
           const std::string key = scn + "/" + backend + "/" + mode;
-          job.on_complete = [&fields_mu, &fields, key](api::session& s) {
-            captured_field f;
-            f.n = s.solver().grid().n();
-            f.values = s.solver().field();
-            std::lock_guard<std::mutex> lk(fields_mu);
-            fields[key] = std::move(f);
-          };
+          api::batch_job job;
+          job.options.scenario = scn;
+          job.options.kernel_backend = backend;
+          job.options.n = n;
+          job.options.epsilon_factor = eps;
+          job.options.num_steps = steps;
+          job.options.sd_grid = sd_grid;
+          job.options.nodes = nodes;
+          job.options.mode = std::string(mode) == "serial"
+                                 ? api::execution_mode::serial
+                                 : api::execution_mode::distributed;
+          if (auto_rebalance &&
+              job.options.mode == api::execution_mode::distributed) {
+            // Live Algorithm 1 loop on every distributed tenant: sample
+            // every 10 steps, act on >= 1 SD of imbalance, damped against
+            // noise.
+            job.options.auto_rebalance.enabled = true;
+            job.options.auto_rebalance.interval = 10;
+            job.options.auto_rebalance.trigger = 1.0;
+            job.options.auto_rebalance.deadband = 0.5;
+            job.options.auto_rebalance.cooldown = 1;
+          }
+          const int per_round = steps / rounds;
+          job.num_steps =
+              round + 1 < rounds ? per_round : steps - per_round * (rounds - 1);
+          if (hibernate) job.session_key = key;
+          job.label = rounds > 1 ? key + "#" + std::to_string(round) : key;
+          if (!soak && round + 1 == rounds) {
+            job.on_complete = [&fields_mu, &fields, key](api::session& s) {
+              captured_field f;
+              f.n = s.solver().grid().n();
+              f.values = s.solver().field();
+              std::lock_guard<std::mutex> lk(fields_mu);
+              fields[key] = std::move(f);
+            };
+          }
+          jobs.push_back(std::move(job));
         }
-        jobs.push_back(std::move(job));
-      }
-    }
 
   std::cout << "batch_service: " << jobs.size() << " jobs (" << scenarios.size()
             << " scenarios x " << backends.size() << " backends"
@@ -231,6 +257,32 @@ int main(int argc, char** argv) {
             << static_cast<double>(agg.ghost_bytes) / (1024.0 * 1024.0)
             << " MiB ghost traffic, " << agg.wall_seconds << " s wall, "
             << agg.jobs_per_second << " jobs/s\n";
+
+  if (hibernate && runner.hibernation()) {
+    const auto* hib = runner.hibernation();
+    const auto st = hib->current_stats();
+    const double ratio =
+        st.bytes_encoded > 0
+            ? static_cast<double>(st.bytes_raw) / static_cast<double>(st.bytes_encoded)
+            : 0.0;
+    std::cout << "hibernation: " << hib->session_count() << " tenants held, "
+              << hib->resident_count() << " resident (cap " << resident_cap
+              << "), " << st.hibernates << " hibernates / " << st.restores
+              << " restores, " << st.bytes_raw / 1024 << " KiB raw -> "
+              << st.bytes_encoded / 1024 << " KiB cold (" << ratio << "x)\n";
+    // The service claim (docs/checkpoint.md): the runner holds at least 4x
+    // more tenant sessions than the resident cap keeps in memory, and
+    // multi-round tenants really made the cold-storage round trip.
+    if (hib->session_count() < 4 * static_cast<std::size_t>(resident_cap)) {
+      std::cout << "FAIL: only " << hib->session_count() << " tenants held for "
+                << "resident cap " << resident_cap << " (need >= 4x)\n";
+      all_ok = false;
+    }
+    if (rounds > 1 && st.restores == 0) {
+      std::cout << "FAIL: multi-round tenants never restored from cold storage\n";
+      all_ok = false;
+    }
+  }
 
   if (!json_path.empty()) write_json(json_path, agg, results, soak);
 

@@ -34,6 +34,10 @@ std::vector<std::string> validate(const batch_options& opt) {
         std::to_string(opt.max_concurrent_jobs) + " exceeds pool_threads " +
         std::to_string(opt.pool_threads) +
         "; every running job occupies one worker, so excess slots can never fill");
+  if (opt.hibernation.enabled) {
+    if (const auto herr = opt.hibernation.validate(); !herr.empty())
+      errs.push_back("batch_options." + herr);
+  }
   return errs;
 }
 
@@ -54,7 +58,10 @@ batch_options validated(batch_options opt) {
 }  // namespace
 
 batch_runner::batch_runner(batch_options opt)
-    : opt_(validated(opt)), pool_(opt_.pool_threads) {}
+    : opt_(validated(opt)), pool_(opt_.pool_threads) {
+  if (opt_.hibernation.enabled)
+    hib_ = std::make_unique<ckpt::hibernation_manager>(opt_.hibernation);
+}
 
 batch_runner::~batch_runner() { wait_all(); }
 
@@ -88,18 +95,34 @@ std::vector<amt::future<batch_job_result>> batch_runner::submit_all(
 }
 
 void batch_runner::pump_locked() {
+  // A job whose persistent tenant is mid-job must wait: same-key jobs run
+  // strictly serially (this is also what keeps the hibernation callbacks
+  // race-free). Key-less jobs are always eligible.
+  const auto eligible = [&](const queued_job& q) {
+    if (q.job.session_key.empty()) return true;
+    const auto t = tenants_.find(q.job.session_key);
+    return t == tenants_.end() || !t->second.busy;
+  };
   while (running_ < opt_.max_concurrent_jobs && !queue_.empty()) {
-    // FIFO admits the oldest; priority admits the highest priority, oldest
-    // among equals. The queue is small (pending jobs), so a linear scan
-    // beats maintaining a heap.
-    auto it = queue_.begin();
-    if (opt_.admission == admission_policy::priority)
-      it = std::min_element(queue_.begin(), queue_.end(),
-                            [](const queued_job& a, const queued_job& b) {
-                              if (a.job.priority != b.job.priority)
-                                return a.job.priority > b.job.priority;
-                              return a.seq < b.seq;
-                            });
+    // FIFO admits the oldest eligible; priority admits the highest
+    // priority, oldest among equals. The queue is small (pending jobs),
+    // so a linear scan beats maintaining a heap.
+    auto it = queue_.end();
+    for (auto j = queue_.begin(); j != queue_.end(); ++j) {
+      if (!eligible(*j)) continue;
+      if (it == queue_.end()) {
+        it = j;
+        if (opt_.admission == admission_policy::fifo) break;
+        continue;
+      }
+      if (j->job.priority > it->job.priority ||
+          (j->job.priority == it->job.priority && j->seq < it->seq))
+        it = j;
+    }
+    if (it == queue_.end()) break;  // every pending job's tenant is mid-job
+    // Mark the tenant busy at admission (creating its slot on first use)
+    // so a later pump pass cannot double-book the key.
+    if (!it->job.session_key.empty()) tenants_[it->job.session_key].busy = true;
     queued_job qj = std::move(*it);
     queue_.erase(it);
     ++running_;
@@ -121,16 +144,23 @@ void batch_runner::execute(queued_job qj) {
     support::stopwatch job_sw;
     res.label = qj.job.label;
     long long steps_done = 0;
+    std::uint64_t ghost_delta = 0;
     try {
-      session s(qj.job.options);
-      auto& h = s.solver();
-      const int steps =
-          qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
-      h.run(steps);
-      if (qj.job.on_complete) qj.job.on_complete(s);
-      res.metrics = h.metrics();
-      res.ok = true;
-      steps_done = res.metrics.steps;
+      if (qj.job.session_key.empty()) {
+        // Ephemeral job: the session lives and dies with it.
+        session s(qj.job.options);
+        auto& h = s.solver();
+        const int steps =
+            qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
+        h.run(steps);
+        if (qj.job.on_complete) qj.job.on_complete(s);
+        res.metrics = h.metrics();
+        res.ok = true;
+        steps_done = res.metrics.steps;
+        ghost_delta = res.metrics.ghost_bytes;
+      } else {
+        execute_tenant(qj, res, steps_done, ghost_delta);
+      }
     } catch (const std::exception& e) {
       res.error = e.what();
     } catch (...) {
@@ -141,10 +171,12 @@ void batch_runner::execute(queued_job qj) {
     {
       std::lock_guard<std::mutex> lk(mu_);
       --running_;
+      if (!qj.job.session_key.empty())
+        tenants_[qj.job.session_key].busy = false;
       if (res.ok) {
         ++agg_.jobs_completed;
         agg_.total_steps += steps_done;
-        agg_.ghost_bytes += res.metrics.ghost_bytes;
+        agg_.ghost_bytes += ghost_delta;
         job_step_latency_.emplace_back(res.label, res.metrics.step_latency);
         if (qj.job.options.auto_rebalance.enabled)
           job_rebalance_.push_back({res.label, res.metrics.rebalance_epochs,
@@ -164,6 +196,62 @@ void batch_runner::execute(queued_job qj) {
   // Fulfill outside mu_: user continuations attached to the future run
   // inline here and must be free to call back into the runner.
   qj.done.set_value(std::move(res));
+}
+
+void batch_runner::execute_tenant(queued_job& qj, batch_job_result& res,
+                                  long long& steps_done,
+                                  std::uint64_t& ghost_delta) {
+  const std::string& key = qj.job.session_key;
+  tenant* t = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    t = &tenants_[key];  // busy since admission, so the slot is ours alone
+  }
+  if (!t->sess) {
+    // First job of this key builds the session. The batch manager owns
+    // hibernation for tenants, so the session's own single-entry manager
+    // stays off; the batch-level codec choice rides along for the frame
+    // encoding of export_and_release().
+    session_options o = qj.job.options;
+    o.hibernation.enabled = false;
+    if (hib_) o.hibernation.codec = opt_.hibernation.codec;
+    t->sess = std::make_unique<session>(std::move(o));
+  }
+  auto& h = t->sess->solver();
+  if (hib_ && !t->registered) {
+    ckpt::hibernation_manager::callbacks cb;
+    auto* hp = &h;
+    cb.snapshot_and_release = [hp](net::byte_buffer reuse) {
+      return hp->export_and_release(std::move(reuse));
+    };
+    cb.restore = [hp](const net::byte_buffer& b) { hp->import_state(b); };
+    hib_->add_session(key, std::move(cb));
+    t->registered = true;
+  }
+  if (hib_) hib_->activate(key);
+  // Park on every exit (run/on_complete may throw); execute() owns the
+  // error reporting.
+  struct parked {
+    ckpt::hibernation_manager* m;
+    const std::string& k;
+    ~parked() {
+      if (m) m->park(k);
+    }
+  } guard{hib_.get(), key};
+  const runtime_metrics before = h.metrics();
+  const int steps =
+      qj.job.num_steps > 0 ? qj.job.num_steps : qj.job.options.num_steps;
+  h.run(steps);
+  if (qj.job.on_complete) qj.job.on_complete(*t->sess);
+  res.metrics = h.metrics();
+  res.ok = true;
+  steps_done = res.metrics.steps - before.steps;
+  ghost_delta = res.metrics.ghost_bytes - before.ghost_bytes;
+}
+
+std::size_t batch_runner::tenant_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tenants_.size();
 }
 
 void batch_runner::wait_all() {
@@ -214,6 +302,11 @@ obs::metrics_snapshot batch_runner::metrics_snapshot() const {
       snap.add_gauge(base + "imbalance_before", jr.imbalance_before);
       snap.add_gauge(base + "imbalance_after", jr.imbalance_after);
     }
+  }
+  if (hib_) hib_->metrics_into(snap);  // ckpt/* tenant-hibernation view
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    snap.add_gauge("api/batch/tenants", static_cast<double>(tenants_.size()));
   }
   // Live AGAS counter paths (pool busy times, comm traffic) ride along so
   // one exported file carries the whole process view.

@@ -24,6 +24,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "amt/future.hpp"
 #include "amt/thread_pool.hpp"
 #include "api/session.hpp"
+#include "ckpt/hibernation.hpp"
 #include "obs/metrics.hpp"
 
 namespace nlh::api {
@@ -46,6 +49,15 @@ struct batch_job {
   int priority = 0;
   /// Identifier echoed into the result; empty = "job-<sequence>".
   std::string label;
+  /// Empty (the default) keeps the historical behaviour: the job builds
+  /// its own session and destroys it at completion. Non-empty names a
+  /// *persistent tenant*: the runner keeps one session per key alive
+  /// across jobs (later jobs continue where earlier ones stopped; their
+  /// `options` are ignored after the first), runs same-key jobs strictly
+  /// serially, and — when `batch_options::hibernation` is enabled — parks
+  /// idle tenants to cold storage under the LRU resident cap
+  /// (docs/checkpoint.md).
+  std::string session_key;
   /// Optional hook run on the worker after the steps complete (and before
   /// the result future resolves) with the job's live session — e.g. to
   /// gather the field or compute error-vs-exact. Exceptions it throws fail
@@ -76,6 +88,12 @@ struct batch_options {
   /// Admission cap: jobs executing simultaneously.
   int max_concurrent_jobs = 2;
   admission_policy admission = admission_policy::fifo;
+  /// Hibernation of idle persistent tenants (docs/checkpoint.md): when
+  /// enabled, at most `hibernation.resident_cap` tenant sessions stay in
+  /// memory; the least-recently-used parked ones are compressed to cold
+  /// storage and transparently restored when their next job is admitted.
+  /// Ignored for key-less (ephemeral) jobs.
+  ckpt::hibernation_options hibernation;
 };
 
 /// Aggregate counters over every job this runner has seen.
@@ -134,6 +152,12 @@ class batch_runner {
   const batch_options& options() const { return opt_; }
   /// The shared pool (e.g. for co-scheduling caller work).
   amt::thread_pool& pool() { return pool_; }
+  /// The tenant hibernation manager; null when
+  /// batch_options::hibernation.enabled was false.
+  ckpt::hibernation_manager* hibernation() { return hib_.get(); }
+  const ckpt::hibernation_manager* hibernation() const { return hib_.get(); }
+  /// Persistent tenants currently alive (resident + hibernated).
+  std::size_t tenant_count() const;
 
  private:
   struct queued_job {
@@ -143,10 +167,20 @@ class batch_runner {
     std::chrono::steady_clock::time_point submitted;  ///< queue-wait origin
   };
 
-  /// Admit queued jobs while slots are free. Caller holds mu_.
+  /// Admit queued jobs while slots are free, skipping jobs whose tenant
+  /// is mid-job (same-key jobs run strictly serially — also what makes
+  /// the hibernation callbacks safe to run without per-session locks).
+  /// Caller holds mu_.
   void pump_locked();
-  /// Runs on a pool worker: build the session, step, fulfill the promise.
+  /// Runs on a pool worker: build (or reactivate) the session, step,
+  /// fulfill the promise.
   void execute(queued_job qj);
+  /// The persistent-tenant body of execute(): reuse/build the keyed
+  /// session, activate/park around the run. Tenant metrics span the
+  /// tenant's whole life, so the job is charged deltas (`steps_done`,
+  /// `ghost_delta`), not the cumulative counters.
+  void execute_tenant(queued_job& qj, batch_job_result& res,
+                      long long& steps_done, std::uint64_t& ghost_delta);
 
   batch_options opt_;
   mutable std::mutex mu_;
@@ -174,6 +208,19 @@ class batch_runner {
     double imbalance_after = 0.0;
   };
   std::vector<job_rebalance> job_rebalance_;
+  /// Persistent tenants (batch_job::session_key); guarded by mu_. `busy`
+  /// is set at admission and cleared at completion, so pump_locked never
+  /// double-books a key. Sessions are heap-stable: execute() touches them
+  /// outside mu_ while their busy flag protects them.
+  struct tenant {
+    std::unique_ptr<session> sess;
+    bool busy = false;
+    bool registered = false;  ///< added to hib_ already
+  };
+  std::map<std::string, tenant> tenants_;
+  /// LRU hibernation of parked tenants; null unless
+  /// batch_options::hibernation.enabled.
+  std::unique_ptr<ckpt::hibernation_manager> hib_;
   amt::thread_pool pool_;  ///< last member: joins before the state above dies
 };
 

@@ -145,16 +145,33 @@ double manufactured_scenario::exact(double t, double x1, double x2) const {
 // --------------------------------------------------------- gaussian pulse --
 
 gaussian_pulse_scenario::gaussian_pulse_scenario(double center_x, double center_y,
-                                                 double sigma, double amplitude)
-    : cx_(center_x), cy_(center_y), sigma_(sigma), amplitude_(amplitude) {
+                                                 double sigma, double amplitude,
+                                                 double support_radius)
+    : cx_(center_x),
+      cy_(center_y),
+      sigma_(sigma),
+      amplitude_(amplitude),
+      support_radius_(support_radius) {
   NLH_ASSERT_MSG(sigma > 0.0, "gaussian_pulse_scenario: sigma must be positive");
+  NLH_ASSERT_MSG(support_radius >= 0.0,
+                 "gaussian_pulse_scenario: support_radius must be >= 0");
 }
 
 double gaussian_pulse_scenario::initial(double x1, double x2) const {
   if (x1 < 0.0 || x1 > 1.0 || x2 < 0.0 || x2 > 1.0) return 0.0;
   const double dx = x1 - cx_;
   const double dy = x2 - cy_;
-  return amplitude_ * std::exp(-(dx * dx + dy * dy) / (2.0 * sigma_ * sigma_));
+  const double r2 = dx * dx + dy * dy;
+  const double inv2s2 = 1.0 / (2.0 * sigma_ * sigma_);
+  if (support_radius_ > 0.0) {
+    if (r2 >= support_radius_ * support_radius_) return 0.0;
+    // Shift the profile so it reaches the cutoff continuously; the far
+    // field is exact 0.0, not a tiny tail.
+    return amplitude_ *
+           (std::exp(-r2 * inv2s2) -
+            std::exp(-support_radius_ * support_radius_ * inv2s2));
+  }
+  return amplitude_ * std::exp(-r2 * inv2s2);
 }
 
 // ------------------------------------------------------------------ lshape --

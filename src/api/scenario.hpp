@@ -128,13 +128,20 @@ class manufactured_scenario final : public scenario {
 /// simplest "real" workload (no exact solution).
 class gaussian_pulse_scenario final : public scenario {
  public:
+  /// `support_radius > 0` truncates the pulse to compact support: the
+  /// profile is continuity-shifted (`exp(-r²/2σ²) − exp(-R²/2σ²)`) inside
+  /// radius R and *exactly* 0.0 outside. Exact zeros propagate under the
+  /// source-free forward-Euler update, which is what the delta codec's RLE
+  /// fast path compresses (docs/checkpoint.md) — the registry default
+  /// (support_radius = 0, infinite support) is bitwise unchanged.
   explicit gaussian_pulse_scenario(double center_x = 0.5, double center_y = 0.5,
-                                   double sigma = 0.1, double amplitude = 1.0);
+                                   double sigma = 0.1, double amplitude = 1.0,
+                                   double support_radius = 0.0);
   std::string name() const override { return "gaussian_pulse"; }
   double initial(double x1, double x2) const override;
 
  private:
-  double cx_, cy_, sigma_, amplitude_;
+  double cx_, cy_, sigma_, amplitude_, support_radius_;
 };
 
 /// L-shaped material domain (the paper's future-work item): the top-right

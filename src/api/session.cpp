@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "amt/async.hpp"
+#include "ckpt/codec.hpp"
 #include "dist/dist_solver.hpp"
 #include "nonlocal/error.hpp"
 #include "nonlocal/kernel/backend.hpp"
@@ -22,6 +23,7 @@
 #include "partition/metrics.hpp"
 #include "partition/multilevel.hpp"
 #include "partition/partitioner.hpp"
+#include "support/assert.hpp"
 #include "support/stopwatch.hpp"
 
 namespace nlh::api {
@@ -51,6 +53,14 @@ class solver_impl {
   /// Append backend-specific instruments to a metrics snapshot (serial has
   /// none beyond what runtime_metrics already carries).
   virtual void metrics_into(obs::metrics_snapshot&) const {}
+  /// Serialize the full solver state (self-contained, self-describing)
+  /// through `c` into `w`; returns the raw pre-codec payload bytes (the
+  /// compression-ratio denominator). import_state() on a freshly
+  /// constructed impl of the same options must rebuild bitwise-identical
+  /// state — the hibernate→restore guarantee (docs/checkpoint.md).
+  virtual std::uint64_t export_state(net::archive_writer& w,
+                                     const ckpt::codec& c) = 0;
+  virtual void import_state(net::archive_reader& r) = 0;
 };
 
 namespace {
@@ -80,6 +90,27 @@ class serial_impl final : public solver_impl {
   double dt() const override { return solver_.dt(); }
   int current_step() const override { return steps_; }
   nonlocal::kernel_backend backend() const override { return solver_.backend(); }
+
+  std::uint64_t export_state(net::archive_writer& w,
+                             const ckpt::codec& c) override {
+    w.write(static_cast<std::uint8_t>('S'));
+    w.write(static_cast<std::int64_t>(steps_));
+    w.write(c.name());
+    const auto& u = solver_.field();  // padded layout
+    w.write(static_cast<std::uint64_t>(u.size()));
+    return c.encode(u.data(), u.size(), nullptr, w).raw_bytes;
+  }
+
+  void import_state(net::archive_reader& r) override {
+    NLH_ASSERT_MSG(r.read<std::uint8_t>() == 'S',
+                   "serial_impl::import_state: wrong state tag");
+    steps_ = static_cast<int>(r.read<std::int64_t>());
+    const ckpt::codec* c = ckpt::find_codec(r.read_string());
+    NLH_ASSERT_MSG(c != nullptr, "serial_impl::import_state: unknown codec");
+    std::vector<double> u(static_cast<std::size_t>(r.read<std::uint64_t>()));
+    c->decode(r, u.data(), u.size(), nullptr);
+    solver_.set_field(std::move(u));
+  }
 
  private:
   static nonlocal::solver_config make_config(const session_options& o) {
@@ -132,6 +163,25 @@ class dist_impl final : public solver_impl {
     solver_.metrics_into(snap);
   }
 
+  std::uint64_t export_state(net::archive_writer& w,
+                             const ckpt::codec& /*c*/) override {
+    // The distributed snapshot rides the solver's own checkpoint path —
+    // make_config feeds the same codec choice into
+    // dist_config::checkpoint, and the blob is self-describing.
+    w.write(static_cast<std::uint8_t>('D'));
+    w.write(solver_.checkpoint_full());
+    const auto& t = solver_.sd_tiling();
+    return static_cast<std::uint64_t>(t.num_sds()) * t.sd_size() * t.sd_size() *
+           sizeof(double);
+  }
+
+  void import_state(net::archive_reader& r) override {
+    NLH_ASSERT_MSG(r.read<std::uint8_t>() == 'D',
+                   "dist_impl::import_state: wrong state tag");
+    const auto blob = r.read_vector<std::byte>();
+    solver_.restore(blob);
+  }
+
  private:
   static dist::dist_config make_config(const session_options& o) {
     dist::dist_config cfg;
@@ -149,6 +199,8 @@ class dist_impl final : public solver_impl {
       cfg.schedule = *s;
     cfg.backend = resolve_backend(o);
     cfg.rebalance = o.auto_rebalance;
+    // One codec choice drives both the checkpoint path and hibernation.
+    cfg.checkpoint.codec = o.hibernation.codec;
     return cfg;
   }
 
@@ -161,9 +213,36 @@ bool is_power_of_two(int v) { return v >= 1 && (v & (v - 1)) == 0; }
 
 // ----------------------------------------------------------- solver_handle --
 
+namespace {
+/// The one key a handle's session-owned hibernation manager tracks.
+constexpr const char* kSelfKey = "session";
+}  // namespace
+
 solver_handle::solver_handle(std::shared_ptr<const scenario> scn,
-                             std::unique_ptr<solver_impl> impl)
-    : scenario_(std::move(scn)), impl_(std::move(impl)) {}
+                             std::unique_ptr<solver_impl> impl,
+                             impl_factory rebuild,
+                             ckpt::hibernation_options hib_opt)
+    : scenario_(std::move(scn)),
+      impl_(std::move(impl)),
+      rebuild_(std::move(rebuild)),
+      hib_codec_(ckpt::find_codec(hib_opt.codec)),
+      cached_grid_(impl_->grid()),
+      cached_dt_(impl_->dt()),
+      cached_backend_(impl_->backend()) {
+  NLH_ASSERT_MSG(hib_codec_ != nullptr,
+                 "solver_handle: unknown hibernation codec (validation gap)");
+  if (hib_opt.enabled) {
+    hib_ = std::make_unique<ckpt::hibernation_manager>(std::move(hib_opt));
+    // Callbacks run on the thread that triggered them, which already holds
+    // step_mu_ (recursive) through hibernate()/ensure_resident_locked().
+    hib_->add_session(
+        kSelfKey,
+        {[this](net::byte_buffer reuse) {
+           return export_state_locked(std::move(reuse));
+         },
+         [this](const net::byte_buffer& bytes) { import_state_locked(bytes); }});
+  }
+}
 
 // Members are destroyed in reverse declaration order: driver_ first, whose
 // thread_pool destructor drains queued async steps while impl_ is still
@@ -176,6 +255,7 @@ runtime_metrics solver_handle::run_steps(int num_steps) {
         "solver_handle: the number of steps must be non-negative (got " +
         std::to_string(num_steps) + ")");
   std::lock_guard<std::recursive_mutex> step_lk(step_mu_);
+  ensure_resident_locked();
   for (int k = 0; k < num_steps; ++k) {
     support::stopwatch sw;
     {
@@ -218,25 +298,83 @@ void solver_handle::set_observer(step_observer cb) {
   observer_ = std::move(cb);
 }
 
-const nonlocal::grid2d& solver_handle::grid() const { return impl_->grid(); }
+// grid/dt/backend stay lock-free (documented immutable) by serving the
+// construction-time cache, so they remain valid while the solver state is
+// hibernated and impl_ is gone.
+const nonlocal::grid2d& solver_handle::grid() const { return *cached_grid_; }
 
-double solver_handle::dt() const { return impl_->dt(); }
+double solver_handle::dt() const { return cached_dt_; }
 
-nonlocal::kernel_backend solver_handle::backend() const { return impl_->backend(); }
+nonlocal::kernel_backend solver_handle::backend() const { return cached_backend_; }
 
 std::vector<double> solver_handle::field() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  ensure_resident_locked();
   return impl_->field();
 }
 
 int solver_handle::current_step() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  ensure_resident_locked();
   return impl_->current_step();
 }
 
 std::uint64_t solver_handle::ghost_bytes() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  ensure_resident_locked();
   return impl_->ghost_bytes();
+}
+
+void solver_handle::ensure_resident_locked() const {
+  if (impl_) return;
+  NLH_ASSERT_MSG(hib_ != nullptr,
+                 "solver_handle: state was exported (export_and_release); the "
+                 "managing layer must import_state() before use");
+  // activate() restores through the import callback; park right away so
+  // the single entry goes back to being LRU-eligible for hibernate().
+  hib_->activate(kSelfKey);
+  hib_->park(kSelfKey);
+}
+
+ckpt::snapshot_blob solver_handle::export_state_locked(net::byte_buffer reuse) {
+  NLH_ASSERT_MSG(impl_ != nullptr, "solver_handle: state already exported");
+  NLH_TRACE_SPAN("api/session_export");
+  net::archive_writer w(std::move(reuse));
+  const auto raw = impl_->export_state(w, *hib_codec_);
+  impl_.reset();  // release the in-memory solver — the point of the exercise
+  return {w.take(), raw};
+}
+
+void solver_handle::import_state_locked(const net::byte_buffer& bytes) {
+  NLH_ASSERT_MSG(impl_ == nullptr, "solver_handle: import over live state");
+  NLH_TRACE_SPAN("api/session_import");
+  impl_ = rebuild_();
+  net::archive_reader r(bytes);
+  impl_->import_state(r);
+  NLH_ASSERT_MSG(r.exhausted(), "solver_handle: trailing bytes in session blob");
+}
+
+void solver_handle::hibernate() {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  if (!hib_)
+    throw std::logic_error(
+        "solver_handle::hibernate: session_options::hibernation is disabled");
+  hib_->hibernate(kSelfKey);  // false (no-op) when already cold
+}
+
+bool solver_handle::hibernated() const {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return impl_ == nullptr;
+}
+
+ckpt::snapshot_blob solver_handle::export_and_release(net::byte_buffer reuse) {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  return export_state_locked(std::move(reuse));
+}
+
+void solver_handle::import_state(const net::byte_buffer& bytes) {
+  std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  import_state_locked(bytes);
 }
 
 std::vector<double> solver_handle::exact_now_locked() const {
@@ -255,16 +393,19 @@ std::vector<double> solver_handle::exact_now_locked() const {
 
 double solver_handle::error_vs_exact() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  ensure_resident_locked();
   return nonlocal::error_max_relative(impl_->grid(), exact_now_locked(),
                                       impl_->field());
 }
 
 double solver_handle::error_ek_vs_exact() const {
   std::lock_guard<std::recursive_mutex> lk(step_mu_);
+  ensure_resident_locked();
   return nonlocal::error_ek(impl_->grid(), exact_now_locked(), impl_->field());
 }
 
 runtime_metrics solver_handle::metrics_locked() const {
+  ensure_resident_locked();
   runtime_metrics m;
   m.steps = impl_->current_step();
   m.dt = impl_->dt();
@@ -284,6 +425,11 @@ runtime_metrics solver_handle::metrics_locked() const {
   m.rebalance_moves = rs.moves;
   m.rebalance_imbalance_before = rs.last_imbalance_before;
   m.rebalance_imbalance_after = rs.last_imbalance_after;
+  if (hib_) {
+    const auto hs = hib_->current_stats();
+    m.hibernates = hs.hibernates;
+    m.restores = hs.restores;
+  }
   return m;
 }
 
@@ -305,6 +451,7 @@ obs::metrics_snapshot solver_handle::metrics_snapshot() const {
   snap.add_gauge("api/session/is_distributed", m.is_distributed ? 1.0 : 0.0);
   snap.add_histogram("api/session/step_latency_seconds", m.step_latency);
   impl_->metrics_into(snap);
+  if (hib_) hib_->metrics_into(snap, "api/session/ckpt/");
   return snap;
 }
 
@@ -381,6 +528,14 @@ std::vector<std::string> session::validate_resolved(const session_options& opt,
     std::ostringstream m;
     m << "session_options.kernel_backend: unknown backend '" << opt.kernel_backend
       << "'; valid: scalar, row_run, simd (empty keeps the process default)";
+    err(m);
+  }
+
+  // Validated regardless of `enabled`: the codec choice also drives the
+  // distributed checkpoint path and the export primitives.
+  if (const auto herr = opt.hibernation.validate(); !herr.empty()) {
+    std::ostringstream m;
+    m << "session_options." << herr;
     err(m);
   }
 
@@ -584,13 +739,17 @@ void session::build_distribution() {
 
 solver_handle& session::solver() {
   if (!solver_) {
-    std::unique_ptr<solver_impl> impl;
-    if (opt_.mode == execution_mode::serial)
-      impl = std::make_unique<serial_impl>(opt_, scenario_);
-    else
-      impl = std::make_unique<dist_impl>(opt_, scenario_, *own_);
+    // The factory rebuilds an identically-configured impl on hibernation
+    // restore; the session outlives its handle, so `this` stays valid.
+    auto build = [this]() -> std::unique_ptr<solver_impl> {
+      if (opt_.mode == execution_mode::serial)
+        return std::make_unique<serial_impl>(opt_, scenario_);
+      return std::make_unique<dist_impl>(opt_, scenario_, *own_);
+    };
+    auto impl = build();
     // The handle constructor is private (friended); not make_unique-able.
-    solver_.reset(new solver_handle(scenario_, std::move(impl)));
+    solver_.reset(new solver_handle(scenario_, std::move(impl), std::move(build),
+                                    opt_.hibernation));
   }
   return *solver_;
 }

@@ -49,6 +49,18 @@ class archive_writer {
     std::memcpy(buf_.data() + old, s.data(), s.size());
   }
 
+  /// Append `n` raw bytes with no length prefix — the escape hatch for
+  /// self-delimiting payloads (the ckpt codecs) that manage their own
+  /// framing.
+  void write_raw(const void* p, std::size_t n) {
+    const auto old = buf_.size();
+    buf_.resize(old + n);
+    if (n) std::memcpy(buf_.data() + old, p, n);
+  }
+
+  /// Append a single byte (the varint hot path of the ckpt codecs).
+  void write_byte(std::uint8_t b) { buf_.push_back(static_cast<std::byte>(b)); }
+
   template <class T>
   void write(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -85,10 +97,22 @@ class archive_reader {
 
   std::string read_string() {
     const auto n = static_cast<std::size_t>(read<std::uint64_t>());
-    NLH_ASSERT_MSG(pos_ + n <= buf_.size(), "archive_reader: underrun");
+    NLH_ASSERT_MSG(n <= remaining(), "archive_reader: underrun");
     std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
     pos_ += n;
     return s;
+  }
+
+  /// Read `n` raw bytes written by write_raw.
+  void read_raw(void* p, std::size_t n) {
+    NLH_ASSERT_MSG(n <= remaining(), "archive_reader: underrun");
+    if (n) std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::uint8_t read_byte() {
+    NLH_ASSERT_MSG(pos_ < buf_.size(), "archive_reader: underrun");
+    return static_cast<std::uint8_t>(buf_[pos_++]);
   }
 
   template <class T>
@@ -104,7 +128,9 @@ class archive_reader {
   void read_vector_into(std::vector<T>& out) {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = static_cast<std::size_t>(read<std::uint64_t>());
-    NLH_ASSERT_MSG(pos_ + n * sizeof(T) <= buf_.size(), "archive_reader: underrun");
+    // Divide instead of multiplying: a corrupted/hostile length near 2^64
+    // would wrap `n * sizeof(T)` and sail past an additive bounds check.
+    NLH_ASSERT_MSG(n <= remaining() / sizeof(T), "archive_reader: underrun");
     out.resize(n);
     if (n) std::memcpy(out.data(), buf_.data() + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);

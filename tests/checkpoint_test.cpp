@@ -83,10 +83,46 @@ TEST(Checkpoint, CapturesMigratedOwnership) {
 
 TEST(Checkpoint, StateIsSelfContainedBytes) {
   const dist::tiling t(2, 2, 8, 2);
-  dist::dist_solver solver(small_config(), dist::ownership_map(t, 2, {0, 1, 1, 0}));
+  auto cfg = small_config();
+  cfg.checkpoint.codec = "raw";  // the ablation codec keeps the size class
+  dist::dist_solver solver(cfg, dist::ownership_map(t, 2, {0, 1, 1, 0}));
   solver.set_initial_condition();
   const auto state = solver.checkpoint();
   // 4 SDs x 64 interior doubles plus headers: sanity-check the size class.
   EXPECT_GT(state.size(), 4u * 64u * 8u);
   EXPECT_LT(state.size(), 4u * 64u * 8u + 1024u);
+
+  // The default delta codec must come in under raw on this field
+  // (docs/checkpoint.md; the hard ratio gate lives in bench/micro_checkpoint).
+  dist::dist_solver compressed(small_config(),
+                               dist::ownership_map(t, 2, {0, 1, 1, 0}));
+  compressed.set_initial_condition();
+  EXPECT_LT(compressed.checkpoint().size(), state.size());
+}
+
+TEST(Checkpoint, RestoreAfterMigrationRecompilesThePlan) {
+  const dist::tiling t(2, 2, 8, 2);
+  dist::dist_solver solver(small_config(), dist::ownership_map(t, 2, {0, 0, 1, 1}));
+  solver.set_initial_condition();
+  solver.run(2);               // compiles the initial plan
+  solver.migrate_sd(1, 0);     // epoch-tagged migration dirties it
+  solver.run(1);               // recompile under the migrated ownership
+  const auto state = solver.checkpoint();
+
+  dist::dist_solver restored(small_config(),
+                             dist::ownership_map(t, 2, {0, 0, 1, 1}));
+  restored.set_initial_condition();
+  restored.run(1);
+  const auto compiles_before = restored.plan_compiles();
+  EXPECT_EQ(compiles_before, 1u);
+
+  // restore() adopts the checkpoint's migrated ownership, so the cached
+  // step plan is stale: the next step must recompile, exactly once.
+  restored.restore(state);
+  EXPECT_EQ(restored.owners().owner(1), 0);
+  restored.run(2);
+  EXPECT_EQ(restored.plan_compiles(), compiles_before + 1);
+
+  solver.run(2);
+  EXPECT_LT(max_field_diff(solver, restored), 1e-14);
 }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <limits>
+#include <random>
 #include <thread>
 
 #include "amt/counters.hpp"
@@ -72,6 +75,115 @@ TEST(Serializer, RemainingTracksCursor) {
   EXPECT_EQ(r.remaining(), 2 * sizeof(int));
   r.read<int>();
   EXPECT_EQ(r.remaining(), sizeof(int));
+}
+
+// --------------------------------------------- serializer property/fuzz ----
+
+TEST(Serializer, RawAndByteRoundTrip) {
+  net::archive_writer w;
+  const char payload[] = {'g', 'h', 'o', 's', 't'};
+  w.write_byte(0x7f);
+  w.write_raw(payload, sizeof(payload));
+  w.write_byte(0xff);
+  w.write_raw(nullptr, 0);  // zero-length raw append is a no-op
+  const auto buf = w.take();
+  ASSERT_EQ(buf.size(), sizeof(payload) + 2);
+  net::archive_reader r(buf);
+  EXPECT_EQ(r.read_byte(), 0x7f);
+  char back[sizeof(payload)];
+  r.read_raw(back, sizeof(back));
+  EXPECT_EQ(std::memcmp(back, payload, sizeof(payload)), 0);
+  EXPECT_EQ(r.read_byte(), 0xff);
+  r.read_raw(nullptr, 0);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serializer, PropertyRandomVectorsRoundTrip) {
+  // Deterministic fuzz: random-length vectors of mixed element types,
+  // written in random interleavings, must read back exactly and leave the
+  // cursor exhausted.
+  std::mt19937_64 rng(20210521);
+  std::uniform_int_distribution<int> len(0, 200);
+  std::uniform_real_distribution<double> val(-1e12, 1e12);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<double> d(static_cast<std::size_t>(len(rng)));
+    for (auto& v : d) v = val(rng);
+    std::vector<int> i(static_cast<std::size_t>(len(rng)));
+    for (auto& v : i) v = static_cast<int>(rng());
+    std::string s(static_cast<std::size_t>(len(rng)), '\0');
+    for (auto& c : s) c = static_cast<char>('a' + rng() % 26);
+
+    net::archive_writer w;
+    w.write(d);
+    w.write(s);
+    w.write(i);
+    w.write(static_cast<std::uint64_t>(round));
+    const auto buf = w.take();
+    net::archive_reader r(buf);
+    EXPECT_EQ(r.read_vector<double>(), d);
+    EXPECT_EQ(r.read_string(), s);
+    EXPECT_EQ(r.read_vector<int>(), i);
+    EXPECT_EQ(r.read<std::uint64_t>(), static_cast<std::uint64_t>(round));
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Serializer, PooledReuseKeepsCapacityAndRoundTrips) {
+  // The archive_writer(reuse) path: recycled buffers are cleared but keep
+  // their capacity, and repeated cycles round-trip without drift.
+  net::byte_buffer recycled;
+  std::size_t warm_capacity = 0;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    net::archive_writer w(std::move(recycled));
+    std::vector<double> strip(64, 1.5 * cycle);
+    w.write(strip);
+    w.write(std::string("cycle-") + std::to_string(cycle));
+    recycled = w.take();
+    if (cycle == 0)
+      warm_capacity = recycled.capacity();
+    else
+      EXPECT_GE(recycled.capacity(), warm_capacity);  // never shrinks
+    net::archive_reader r(recycled);
+    EXPECT_EQ(r.read_vector<double>(), strip);
+    EXPECT_EQ(r.read_string(), "cycle-" + std::to_string(cycle));
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(Serializer, TruncatedInputsDieWithUnderrun) {
+  net::archive_writer w;
+  w.write(std::vector<double>{1.0, 2.0, 3.0});
+  w.write(std::string("tail"));
+  const auto full = w.take();
+
+  // Chop the buffer at every prefix length: any read past the cut must
+  // abort with the underrun diagnostic, never scribble or wrap.
+  const net::byte_buffer cut_vec(full.begin(), full.begin() + 12);
+  net::archive_reader rv(cut_vec);
+  EXPECT_DEATH(rv.read_vector<double>(), "underrun");
+
+  const net::byte_buffer cut_str(full.begin(), full.end() - 2);
+  net::archive_reader rs(cut_str);
+  rs.read_vector<double>();
+  EXPECT_DEATH(rs.read_string(), "underrun");
+
+  const net::byte_buffer empty;
+  net::archive_reader re(empty);
+  EXPECT_DEATH(re.read_byte(), "underrun");
+  char sink[4];
+  net::archive_reader rr(empty);
+  EXPECT_DEATH(rr.read_raw(sink, sizeof(sink)), "underrun");
+}
+
+TEST(Serializer, HostileVectorLengthCannotOverflowTheBoundsCheck) {
+  // A corrupted length near 2^64 would wrap `n * sizeof(T)` past an
+  // additive bounds check; the reader divides instead and must die.
+  net::archive_writer w;
+  w.write(std::numeric_limits<std::uint64_t>::max() - 2);
+  w.write(3.0);  // a few real bytes so remaining() > 0
+  const auto buf = w.take();
+  net::archive_reader r(buf);
+  EXPECT_DEATH(r.read_vector<double>(), "underrun");
 }
 
 // --------------------------------------------------------------- mailbox ----
