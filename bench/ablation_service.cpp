@@ -1,0 +1,214 @@
+///
+/// \file ablation_service.cpp
+/// \brief QoS service-front-end gate (docs/service.md): the same
+/// deterministic saturating traffic trace runs twice through
+/// `nlh::svc::service_loop` — once with the class weights / deadlines on,
+/// once with `qos_config::enabled = false` (one FIFO queue across
+/// classes) — and the gate demands QoS actually buy what it claims:
+///
+///   1. interactive p99 step latency with QoS >= 1.5x better than the
+///      FIFO baseline (client-centric latency: the first step is measured
+///      from submission, so FIFO queueing behind soak work lands squarely
+///      in the interactive tail; the 8:3:1 weights pull it back out),
+///   2. batch throughput (completed batch jobs / service wall) within 15%
+///      of the baseline — priority for the interactive class must not
+///      starve the throughput class,
+///   3. determinism: generating the trace twice from the same seed yields
+///      identical FNV-1a checksums (the whole offered load is a pure
+///      function of the seed).
+///
+/// The offered load is an MMPP mix (50% interactive / 30% batch / 20%
+/// soak) replayed back-to-back (time_scale 0), which saturates the
+/// execution slots immediately — the regime where scheduling policy is
+/// visible at all. Quotas are opened wide so the comparison isolates the
+/// scheduler; the quota path has its own tests (tests/svc_test.cpp).
+///
+/// Writes BENCH_service.json (NLH_BENCH_SERVICE_JSON overrides the path)
+/// and exits non-zero unless every gate holds; CI runs it as a Release
+/// smoke step and uploads the report.
+///
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "svc/service.hpp"
+#include "svc/traffic_gen.hpp"
+
+namespace {
+
+using namespace nlh;
+
+struct run_result {
+  svc::service_stats stats;
+  double interactive_p99 = 0.0;  ///< step latency, seconds
+  double batch_jobs_per_second = 0.0;
+};
+
+run_result run_trace(const std::vector<svc::arrival>& trace, bool qos_on) {
+  svc::service_options opt;
+  opt.pool_threads = 4;
+  opt.qos.enabled = qos_on;
+  // Wide-open quotas: this bench isolates the scheduler, not policing.
+  opt.default_quota.rate_per_second = 1e6;
+  opt.default_quota.burst = 1e6;
+  opt.default_quota.max_in_flight = 1 << 20;
+
+  svc::service_loop loop(opt);
+  auto futures = svc::replay(loop, trace, /*time_scale=*/0.0);
+  for (auto& f : futures) f.get();
+
+  run_result r;
+  r.stats = loop.stats();
+  r.interactive_p99 = r.stats.of(svc::qos_class::interactive).step_latency.p99;
+  const auto& batch = r.stats.of(svc::qos_class::batch);
+  if (r.stats.wall_seconds > 0.0)
+    r.batch_jobs_per_second =
+        static_cast<double>(batch.completed) / r.stats.wall_seconds;
+  return r;
+}
+
+void print_run(const char* name, const run_result& r) {
+  std::printf("  %-12s:", name);
+  for (int c = 0; c < svc::qos_class_count; ++c) {
+    const auto& cs = r.stats.per_class[static_cast<std::size_t>(c)];
+    std::printf(" %s %llu/%llu ok (p99 %.1f ms)",
+                svc::to_string(static_cast<svc::qos_class>(c)),
+                static_cast<unsigned long long>(cs.completed),
+                static_cast<unsigned long long>(cs.submitted),
+                cs.step_latency.p99 * 1e3);
+  }
+  std::printf("  wall %.3f s\n", r.stats.wall_seconds);
+}
+
+}  // namespace
+
+int main() {
+  const double gate_latency_ratio = 1.5;
+  const double gate_throughput_frac = 0.85;
+
+  svc::traffic_options traffic;
+  traffic.seed = 42;
+  traffic.arrivals = 600;
+  traffic.mean_rate = 400.0;  // far above service capacity: saturating
+  traffic.burst_factor = 4.0;
+  traffic.tenants = 8;
+  traffic.n = 24;
+  traffic.steps_soak = 16;  // deep soak backlog sharpens the FIFO contrast
+
+  // Gate 3 first: the trace must be a pure function of its seed.
+  const auto trace = svc::generate_traffic(traffic);
+  const std::uint64_t sum_a = svc::trace_checksum(trace);
+  const std::uint64_t sum_b = svc::trace_checksum(svc::generate_traffic(traffic));
+  const bool deterministic = sum_a == sum_b;
+
+  std::cout << "QoS service ablation: " << trace.size()
+            << " arrivals (seed " << traffic.seed
+            << "), 50/30/20 interactive/batch/soak mix, replayed "
+               "back-to-back through 4 workers.\n\n";
+
+  // Best-of-3 per variant (min tail latency, max throughput): a timeshared
+  // CI box injects multiplicative scheduling noise into any single run, and
+  // the gate should compare the two *policies*, not two draws of the
+  // machine. Variants alternate so a load spike hits both.
+  const int reps = 3;
+  run_result fifo, qos;
+  for (int r = 0; r < reps; ++r) {
+    const auto f = run_trace(trace, /*qos_on=*/false);
+    const auto q = run_trace(trace, /*qos_on=*/true);
+    if (r == 0) {
+      fifo = f;
+      qos = q;
+    } else {
+      fifo.interactive_p99 = std::min(fifo.interactive_p99, f.interactive_p99);
+      fifo.batch_jobs_per_second =
+          std::max(fifo.batch_jobs_per_second, f.batch_jobs_per_second);
+      qos.interactive_p99 = std::min(qos.interactive_p99, q.interactive_p99);
+      qos.batch_jobs_per_second =
+          std::max(qos.batch_jobs_per_second, q.batch_jobs_per_second);
+    }
+  }
+  print_run("fifo (no QoS)", fifo);
+  print_run("qos 8:3:1", qos);
+
+  const double latency_ratio =
+      qos.interactive_p99 > 0.0 ? fifo.interactive_p99 / qos.interactive_p99
+                                : 0.0;
+  const double throughput_frac =
+      fifo.batch_jobs_per_second > 0.0
+          ? qos.batch_jobs_per_second / fifo.batch_jobs_per_second
+          : 0.0;
+
+  const bool latency_pass = latency_ratio >= gate_latency_ratio;
+  const bool throughput_pass = throughput_frac >= gate_throughput_frac;
+  const bool pass = latency_pass && throughput_pass && deterministic;
+
+  std::printf("\n  interactive p99: %.2f ms (fifo) vs %.2f ms (qos) -> "
+              "%.2fx better (gate >= %.1fx): %s\n",
+              fifo.interactive_p99 * 1e3, qos.interactive_p99 * 1e3,
+              latency_ratio, gate_latency_ratio,
+              latency_pass ? "PASS" : "FAIL");
+  std::printf("  batch throughput: %.1f jobs/s (fifo) vs %.1f jobs/s (qos) "
+              "-> %.0f%% retained (gate >= %.0f%%): %s\n",
+              fifo.batch_jobs_per_second, qos.batch_jobs_per_second,
+              throughput_frac * 100.0, gate_throughput_frac * 100.0,
+              throughput_pass ? "PASS" : "FAIL");
+  std::printf("  trace checksum %016llx == %016llx: %s\n",
+              static_cast<unsigned long long>(sum_a),
+              static_cast<unsigned long long>(sum_b),
+              deterministic ? "PASS" : "FAIL");
+
+  const char* env = std::getenv("NLH_BENCH_SERVICE_JSON");
+  const char* path = env ? env : "BENCH_service.json";
+  std::FILE* fp = std::fopen(path, "w");
+  if (!fp) {
+    std::fprintf(stderr, "service gate: cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(
+      fp,
+      "{\n"
+      "  \"bench\": \"ablation_service\",\n"
+      "  \"config\": {\"seed\": %llu, \"arrivals\": %d, \"mean_rate\": %.1f, "
+      "\"burst_factor\": %.1f, \"tenants\": %d, \"n\": %d, "
+      "\"pool_threads\": 4},\n"
+      "  \"gate\": \"interactive p99 step latency >= %.1fx better than "
+      "no-QoS FIFO; batch throughput >= %.0f%% of baseline; trace "
+      "deterministic under fixed seed\",\n"
+      "  \"pass\": %s,\n"
+      "  \"interactive_p99_s\": {\"fifo\": %.6f, \"qos\": %.6f, "
+      "\"ratio\": %.3f, \"pass\": %s},\n"
+      "  \"batch_jobs_per_second\": {\"fifo\": %.3f, \"qos\": %.3f, "
+      "\"retained\": %.3f, \"pass\": %s},\n"
+      "  \"shed\": {\"fifo\": %llu, \"qos\": %llu},\n"
+      "  \"trace_checksum\": \"%016llx\", \"deterministic\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(traffic.seed), traffic.arrivals,
+      traffic.mean_rate, traffic.burst_factor, traffic.tenants, traffic.n,
+      gate_latency_ratio, gate_throughput_frac * 100.0,
+      pass ? "true" : "false", fifo.interactive_p99, qos.interactive_p99,
+      latency_ratio, latency_pass ? "true" : "false",
+      fifo.batch_jobs_per_second, qos.batch_jobs_per_second, throughput_frac,
+      throughput_pass ? "true" : "false",
+      static_cast<unsigned long long>(
+          fifo.stats.of(svc::qos_class::interactive).shed +
+          fifo.stats.of(svc::qos_class::batch).shed +
+          fifo.stats.of(svc::qos_class::soak).shed),
+      static_cast<unsigned long long>(
+          qos.stats.of(svc::qos_class::interactive).shed +
+          qos.stats.of(svc::qos_class::batch).shed +
+          qos.stats.of(svc::qos_class::soak).shed),
+      static_cast<unsigned long long>(sum_a), deterministic ? "true" : "false");
+  std::fclose(fp);
+
+  std::cout << "\nTakeaway: under saturation FIFO makes every class pay the "
+               "same queueing tax, so the\nlatency-sensitive class inherits "
+               "the soak class's backlog; deficit scheduling by\n8:3:1 "
+               "weights + deadline shedding buys the interactive tail back "
+               "without starving\nbatch throughput (docs/service.md).\n"
+            << "\n  gate " << (pass ? "PASS" : "FAIL") << " -> " << path
+            << "\n";
+  return pass ? 0 : 1;
+}

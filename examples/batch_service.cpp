@@ -7,9 +7,32 @@
 ///
 /// Usage: batch_service [--n 32] [--eps-factor 2] [--steps 5] [--sd-grid 4]
 ///                      [--nodes 2] [--pool-threads 4] [--cap 3]
-///                      [--policy fifo|priority] [--json PATH] [--soak]
+///                      [--policy fifo|priority]
+///                      [--schedule bulk_sync|coarse|per_direction]
+///                      [--json PATH] [--soak]
 ///                      [--auto-rebalance] [--hibernate] [--resident-cap 3]
 ///                      [--rounds N] [--trace-out PATH] [--metrics-out PATH]
+///
+/// Service mode: batch_service --service
+///                      [--seed 42] [--arrivals 400] [--service-seconds 0]
+///                      [--tenants 8] [--rate 120] [--burst 4]
+///                      [--time-scale 0] [--no-qos] [--n 24]
+///                      [--pool-threads 4] [--cap 0]
+///                      [--quota-rate 200] [--quota-burst 32] [--quota-cap 16]
+///                      [--metrics-out PATH] [--trace-out PATH]
+///
+/// `--service` switches from the one-shot batch sweep to the long-running
+/// QoS front door (`nlh::svc::service_loop`, docs/service.md): a seeded
+/// MMPP traffic generator offers an open-loop tenant/class mix
+/// (interactive / batch / soak), the service polices per-tenant quotas and
+/// schedules by class weight, and the run asserts the QoS contract —
+/// interactive p99 step latency strictly below batch p99 (skipped under
+/// `--no-qos`, which flattens scheduling to FIFO for A/B runs). `--rate`
+/// is offered jobs/second of *trace* time; `--time-scale` maps trace time
+/// to wall time (0 = submit back-to-back, the saturating default;
+/// 1 = real time, what the nightly soak drives for 2 minutes via
+/// `--service-seconds 120 --time-scale 1`). The `svc/*` observables land
+/// in `--metrics-out` for the nightly asserts.
 ///
 /// `--soak` switches to the ROADMAP stress configuration — 16x16 SDs on 8
 /// localities for hundreds of steps, distributed jobs across every
@@ -50,14 +73,113 @@
 #include <vector>
 
 #include "api/batch.hpp"
+#include "dist/dist_solver.hpp"
 #include "obs/config.hpp"
 #include "obs/trace_export.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "svc/service.hpp"
+#include "svc/traffic_gen.hpp"
 
 namespace api = nlh::api;
+namespace svc = nlh::svc;
 
 namespace {
+
+/// The long-running front-door demo (--service): deterministic MMPP
+/// traffic through service_loop, per-class latency report, QoS assert.
+int run_service(const nlh::support::cli& cli) {
+  const std::string trace_path = cli.get("trace-out", "");
+  const std::string metrics_path = cli.get("metrics-out", "");
+  if (!trace_path.empty()) nlh::obs::set_tracing_enabled(true);
+
+  svc::traffic_options traffic;
+  traffic.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  traffic.duration_seconds = cli.get_double("service-seconds", 0.0);
+  traffic.arrivals =
+      cli.get_int("arrivals", traffic.duration_seconds > 0.0 ? 0 : 400);
+  traffic.mean_rate = cli.get_double("rate", 120.0);
+  traffic.burst_factor = cli.get_double("burst", 4.0);
+  traffic.tenants = cli.get_int("tenants", 8);
+  traffic.n = cli.get_int("n", 24);
+  traffic.eps_factor = cli.get_int("eps-factor", 2);
+  const double time_scale = cli.get_double("time-scale", 0.0);
+
+  svc::service_options sopt;
+  sopt.pool_threads = static_cast<unsigned>(cli.get_int("pool-threads", 4));
+  sopt.max_concurrent = cli.get_int("cap", 0);  // 0 = pool_threads
+  sopt.qos.enabled = !cli.get_flag("no-qos", false);
+  sopt.default_quota.rate_per_second = cli.get_double("quota-rate", 200.0);
+  sopt.default_quota.burst = cli.get_double("quota-burst", 32.0);
+  sopt.default_quota.max_in_flight = cli.get_int("quota-cap", 16);
+
+  const auto trace = svc::generate_traffic(traffic);
+  std::cout << "batch_service --service: " << trace.size()
+            << " arrivals (seed " << traffic.seed << ", checksum "
+            << std::hex << svc::trace_checksum(trace) << std::dec
+            << "), mean rate " << traffic.mean_rate << "/s x burst "
+            << traffic.burst_factor << ", " << traffic.tenants
+            << " tenants, time-scale " << time_scale << ", QoS "
+            << (sopt.qos.enabled ? "on" : "OFF (FIFO baseline)") << "\n\n";
+
+  svc::service_loop loop(sopt);
+  auto futures = svc::replay(loop, trace, time_scale);
+  for (auto& f : futures) f.get();
+
+  const auto st = loop.stats();
+  nlh::support::table out({"class", "submitted", "completed", "shed",
+                           "qwait-p50-ms", "qwait-p99-ms", "step-p50-ms",
+                           "step-p99-ms"});
+  for (int c = 0; c < svc::qos_class_count; ++c) {
+    const auto& cs = st.per_class[static_cast<std::size_t>(c)];
+    out.row()
+        .add(svc::to_string(static_cast<svc::qos_class>(c)))
+        .add(static_cast<long long>(cs.submitted))
+        .add(static_cast<long long>(cs.completed))
+        .add(static_cast<long long>(cs.shed))
+        .add(cs.queue_wait.p50 * 1e3, 2)
+        .add(cs.queue_wait.p99 * 1e3, 2)
+        .add(cs.step_latency.p50 * 1e3, 2)
+        .add(cs.step_latency.p99 * 1e3, 2);
+  }
+  out.print(std::cout);
+  std::cout << "service: " << st.jobs_per_second << " jobs/s over "
+            << st.wall_seconds << " s; quota delayed " << st.quota_delayed
+            << ", quota shed " << st.quota_shed << "\n";
+
+  bool ok = true;
+  const auto& inter = st.of(svc::qos_class::interactive);
+  const auto& batch = st.of(svc::qos_class::batch);
+  if (inter.completed == 0) {
+    std::cout << "FAIL: no interactive job completed\n";
+    ok = false;
+  }
+  // The QoS contract the nightly asserts: under the class weights the
+  // interactive tail must sit strictly below the batch tail. A FIFO
+  // baseline run (--no-qos) makes no such promise.
+  if (sopt.qos.enabled && inter.completed > 0 && batch.completed > 0 &&
+      !(inter.step_latency.p99 < batch.step_latency.p99)) {
+    std::cout << "FAIL: interactive p99 step latency "
+              << inter.step_latency.p99 * 1e3
+              << " ms not below batch p99 " << batch.step_latency.p99 * 1e3
+              << " ms\n";
+    ok = false;
+  }
+
+  if (!metrics_path.empty()) {
+    loop.dump_metrics(metrics_path);
+    std::cout << "metrics snapshot written to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    nlh::obs::set_tracing_enabled(false);
+    if (nlh::obs::write_chrome_trace(trace_path))
+      std::cout << "trace timeline written to " << trace_path << "\n";
+    else
+      ok = false;
+  }
+  std::cout << (ok ? "\nservice OK\n" : "\nservice FAILED\n");
+  return ok ? 0 : 1;
+}
 
 /// Interior field of a finished job's session, keyed for pair matching.
 struct captured_field {
@@ -104,8 +226,9 @@ void write_json(const std::string& path, const api::batch_metrics& agg,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   const nlh::support::cli cli(argc, argv);
+  if (cli.get_flag("service", false)) return run_service(cli);
   const bool soak = cli.get_flag("soak", false);
 
   // Sweep defaults stay example-sized; --soak is the ROADMAP stress config
@@ -127,11 +250,21 @@ int main(int argc, char** argv) {
   api::batch_options bopt;
   bopt.pool_threads = static_cast<unsigned>(cli.get_int("pool-threads", 4));
   bopt.max_concurrent_jobs = cli.get_int("cap", 3);
-  // Closed value set: a typo'd policy keeps the documented fifo default
-  // instead of silently selecting it through a failed string compare.
-  bopt.admission = cli.get_string("policy", "fifo", {"fifo", "priority"}) == "priority"
-                       ? api::admission_policy::priority
-                       : api::admission_policy::fifo;
+  // Closed value set mapped straight to the enum: a typo'd policy aborts
+  // with the valid spellings instead of silently running the default.
+  bopt.admission = cli.get_enum<api::admission_policy>(
+      "policy", api::admission_policy::fifo,
+      {{"fifo", api::admission_policy::fifo},
+       {"priority", api::admission_policy::priority}});
+  // Overlap schedule for the distributed jobs, same closed-set contract
+  // (session_options carries it by name; dist/dist_solver.hpp).
+  const nlh::dist::overlap_schedule sched =
+      cli.get_enum<nlh::dist::overlap_schedule>(
+          "schedule", nlh::dist::overlap_schedule::per_direction,
+          {{"bulk_sync", nlh::dist::overlap_schedule::bulk_sync},
+           {"coarse", nlh::dist::overlap_schedule::coarse},
+           {"per_direction", nlh::dist::overlap_schedule::per_direction}});
+  const std::string schedule_name = nlh::dist::overlap_schedule_name(sched);
   if (hibernate) {
     bopt.hibernation.enabled = true;
     bopt.hibernation.resident_cap = static_cast<std::size_t>(resident_cap);
@@ -168,6 +301,11 @@ int main(int argc, char** argv) {
           job.options.mode = std::string(mode) == "serial"
                                  ? api::execution_mode::serial
                                  : api::execution_mode::distributed;
+          job.options.overlap_schedule = schedule_name;
+          // Queue-wait split per mode: serial jobs are the short/cheap
+          // class of this sweep, distributed the heavy one —
+          // api/batch/queue_wait_seconds/<mode> in the metrics snapshot.
+          job.admission_class = mode;
           if (auto_rebalance &&
               job.options.mode == api::execution_mode::distributed) {
             // Live Algorithm 1 loop on every distributed tenant: sample
@@ -300,4 +438,8 @@ int main(int argc, char** argv) {
   }
 
   return all_ok ? 0 : 1;
+} catch (const std::exception& e) {
+  // get_enum and options validation throw with actionable messages.
+  std::cerr << "batch_service: " << e.what() << "\n";
+  return 2;
 }

@@ -69,6 +69,7 @@ amt::future<batch_job_result> batch_runner::submit(batch_job job) {
   queued_job qj;
   qj.job = std::move(job);
   auto fut = qj.done.get_future();
+  bool refused = false;
   {
     std::lock_guard<std::mutex> lk(mu_);
     qj.seq = next_seq_++;
@@ -80,8 +81,21 @@ amt::future<batch_job_result> batch_runner::submit(batch_job job) {
     }
     ++agg_.jobs_submitted;
     NLH_TRACE_INSTANT("api/job_submit", qj.seq);
-    queue_.push_back(std::move(qj));
-    pump_locked();
+    if (draining_) {
+      // Admission is closed for good: fail fast below (outside mu_ — the
+      // future's continuations run inline on set_value).
+      ++agg_.jobs_abandoned;
+      refused = true;
+    } else {
+      queue_.push_back(std::move(qj));
+      pump_locked();
+    }
+  }
+  if (refused) {
+    batch_job_result res;
+    res.label = qj.job.label;
+    res.error = "abandoned: batch_runner is draining; admission is closed";
+    qj.done.set_value(std::move(res));
   }
   return fut;
 }
@@ -138,9 +152,23 @@ void batch_runner::execute(queued_job qj) {
   // snapshots the tracer right after the last future fires sees every job.
   {
     NLH_TRACE_SPAN_ARG("api/job", qj.seq);
-    queue_wait_hist_.record(std::chrono::duration<double>(
-                                std::chrono::steady_clock::now() - qj.submitted)
-                                .count());
+    const double waited = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - qj.submitted)
+                              .count();
+    queue_wait_hist_.record(waited);
+    {
+      // Per-admission-class split: insertion under mu_, recording outside
+      // (node addresses are stable; the histogram is thread-safe).
+      const std::string& cls = qj.job.admission_class.empty()
+                                   ? std::string("default")
+                                   : qj.job.admission_class;
+      obs::histogram* h = nullptr;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        h = &queue_wait_by_class_[cls];
+      }
+      h->record(waited);
+    }
     support::stopwatch job_sw;
     res.label = qj.job.label;
     long long steps_done = 0;
@@ -259,6 +287,36 @@ void batch_runner::wait_all() {
   idle_cv_.wait(lk, [&] { return queue_.empty() && running_ == 0; });
 }
 
+batch_drain_report batch_runner::drain(double timeout_seconds) {
+  batch_drain_report rep;
+  std::vector<queued_job> abandoned;
+  std::unique_lock<std::mutex> lk(mu_);
+  draining_ = true;
+  abandoned.swap(queue_);  // nothing queued is ever admitted again
+  rep.abandoned = static_cast<int>(abandoned.size());
+  agg_.jobs_abandoned += rep.abandoned;
+  const int was_running = running_;
+  lk.unlock();
+  // Fail the abandoned jobs fast, outside mu_ (continuations run inline).
+  for (auto& qj : abandoned) {
+    batch_job_result res;
+    res.label = qj.job.label;
+    res.error = "abandoned: batch_runner drained before admission";
+    NLH_TRACE_INSTANT("api/job_abandon", qj.seq);
+    qj.done.set_value(std::move(res));
+  }
+  lk.lock();
+  if (timeout_seconds < 0.0) {
+    idle_cv_.wait(lk, [&] { return running_ == 0; });
+  } else {
+    idle_cv_.wait_for(lk, std::chrono::duration<double>(timeout_seconds),
+                      [&] { return running_ == 0; });
+  }
+  rep.still_running = running_;
+  rep.in_flight_completed = was_running - rep.still_running;
+  return rep;
+}
+
 batch_metrics batch_runner::aggregate() const {
   std::lock_guard<std::mutex> lk(mu_);
   batch_metrics m = agg_;
@@ -284,6 +342,8 @@ obs::metrics_snapshot batch_runner::metrics_snapshot() const {
                    static_cast<std::uint64_t>(m.jobs_completed));
   snap.add_counter("api/batch/jobs_failed",
                    static_cast<std::uint64_t>(m.jobs_failed));
+  snap.add_counter("api/batch/jobs_abandoned",
+                   static_cast<std::uint64_t>(m.jobs_abandoned));
   snap.add_counter("api/batch/total_steps",
                    static_cast<std::uint64_t>(m.total_steps));
   snap.add_counter("api/batch/ghost_bytes", m.ghost_bytes);
@@ -291,6 +351,12 @@ obs::metrics_snapshot batch_runner::metrics_snapshot() const {
   snap.add_gauge("api/batch/jobs_per_second", m.jobs_per_second);
   snap.add_histogram("api/batch/queue_wait_seconds", m.queue_wait);
   snap.add_histogram("api/batch/job_duration_seconds", m.job_duration);
+  {
+    // Per-admission-class queue-wait split (batch_job::admission_class).
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [cls, h] : queue_wait_by_class_)
+      snap.add_histogram("api/batch/queue_wait_seconds/" + cls, h.summary());
+  }
   {
     std::lock_guard<std::mutex> lk(mu_);
     for (const auto& [label, s] : job_step_latency_)

@@ -58,6 +58,15 @@ struct batch_job {
   /// idle tenants to cold storage under the LRU resident cap
   /// (docs/checkpoint.md).
   std::string session_key;
+  /// Admission-class label for the per-class queue-wait split: the job's
+  /// submit -> start wait is recorded both into the aggregate
+  /// `api/batch/queue_wait_seconds` and into
+  /// `api/batch/queue_wait_seconds/<admission_class>` (empty = "default").
+  /// Purely observational here — the runner still admits FIFO/priority;
+  /// differentiated scheduling lives in `src/svc/` (docs/service.md). The
+  /// split is what makes the no-QoS batch path and the `svc` path
+  /// comparable class-by-class in one metrics snapshot.
+  std::string admission_class;
   /// Optional hook run on the worker after the steps complete (and before
   /// the result future resolves) with the job's live session — e.g. to
   /// gather the field or compute error-vs-exact. Exceptions it throws fail
@@ -101,6 +110,7 @@ struct batch_metrics {
   int jobs_submitted = 0;
   int jobs_completed = 0;  ///< finished OK
   int jobs_failed = 0;
+  int jobs_abandoned = 0;  ///< shed by drain() before admission
   long long total_steps = 0;         ///< sum over completed jobs
   std::uint64_t ghost_bytes = 0;     ///< sum over completed jobs
   double wall_seconds = 0.0;         ///< first submit -> last completion
@@ -114,6 +124,21 @@ struct batch_metrics {
 
 /// Validate `opt`, one actionable message per offence; empty = valid.
 std::vector<std::string> validate(const batch_options& opt);
+
+/// What batch_runner::drain found and did (docs/service.md has the
+/// sibling service-level drain).
+struct batch_drain_report {
+  /// Queued jobs that never ran: their futures resolved with ok=false and
+  /// an "abandoned: ..." error.
+  int abandoned = 0;
+  /// Jobs that were executing when drain began and finished within the
+  /// timeout.
+  int in_flight_completed = 0;
+  /// Jobs still executing when the timeout expired (0 on a clean drain —
+  /// the runner keeps waiting for them in its destructor either way).
+  int still_running = 0;
+  bool clean() const { return still_running == 0; }
+};
 
 class batch_runner {
  public:
@@ -136,6 +161,13 @@ class batch_runner {
 
   /// Block until every submitted job has completed.
   void wait_all();
+
+  /// Graceful shutdown: stop admission permanently, fail every queued job
+  /// fast with a distinct "abandoned: ..." error, and wait up to
+  /// `timeout_seconds` (< 0 = forever) for in-flight jobs to finish. Jobs
+  /// submitted afterwards also fail fast. Idempotent — a second call just
+  /// re-waits on whatever is still running.
+  batch_drain_report drain(double timeout_seconds);
 
   /// Snapshot of the aggregate counters (safe any time; wall_seconds of a
   /// still-running batch reads "so far").
@@ -187,6 +219,7 @@ class batch_runner {
   std::condition_variable idle_cv_;
   std::vector<queued_job> queue_;
   int running_ = 0;
+  bool draining_ = false;  ///< set (forever) by drain(): admission is closed
   std::uint64_t next_seq_ = 0;
   batch_metrics agg_;
   bool clock_started_ = false;
@@ -195,6 +228,11 @@ class batch_runner {
   /// step-latency summaries (guarded by mu_) for metrics_snapshot().
   obs::histogram queue_wait_hist_;
   obs::histogram job_duration_hist_;
+  /// Queue-wait split by batch_job::admission_class ("" -> "default"),
+  /// exported as `api/batch/queue_wait_seconds/<class>`. Map insertion is
+  /// guarded by mu_; node addresses are stable, and the histograms are
+  /// internally synchronized, so recording happens outside the lock.
+  std::map<std::string, obs::histogram> queue_wait_by_class_;
   std::vector<std::pair<std::string, obs::histogram_summary>> job_step_latency_;
   /// Per-job auto-rebalancing observables (guarded by mu_), recorded only
   /// for jobs that ran with `auto_rebalance.enabled` — exported as

@@ -5,8 +5,10 @@
 /// example and bench binary exposes its parameters without a dependency.
 ///
 
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace nlh::support {
@@ -35,6 +37,28 @@ class cli {
                          const std::vector<std::string>& allowed) const;
   /// Unvalidated synonym for get(), for symmetry with the typed getters.
   std::string get_string(const std::string& key, const std::string& def) const;
+
+  /// Closed string set mapped straight to an enum: an absent key yields
+  /// `def`; a present value outside `table` throws std::invalid_argument
+  /// naming the key, the offending value and every valid spelling. Use this
+  /// over get_string when a typo should stop the program with a usable
+  /// message rather than silently pick the default.
+  template <class E>
+  E get_enum(const std::string& key, E def,
+             const std::vector<std::pair<std::string, E>>& table) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return def;
+    for (const auto& [name, value] : table)
+      if (name == it->second) return value;
+    std::string valid;
+    for (const auto& [name, value] : table) {
+      (void)value;
+      if (!valid.empty()) valid += ", ";
+      valid += name;
+    }
+    throw std::invalid_argument("--" + key + ": unknown value '" + it->second +
+                                "' (valid: " + valid + ")");
+  }
 
   /// Positional arguments (anything not starting with --).
   const std::vector<std::string>& positional() const { return positional_; }

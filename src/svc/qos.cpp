@@ -1,0 +1,67 @@
+///
+/// \file qos.cpp
+/// \brief qos_class names and qos_config validation.
+///
+
+#include "svc/qos.hpp"
+
+namespace nlh::svc {
+
+const char* to_string(qos_class c) {
+  switch (c) {
+    case qos_class::interactive:
+      return "interactive";
+    case qos_class::batch:
+      return "batch";
+    case qos_class::soak:
+      return "soak";
+  }
+  return "unknown";
+}
+
+std::optional<qos_class> parse_qos_class(const std::string& name) {
+  if (name == "interactive") return qos_class::interactive;
+  if (name == "batch") return qos_class::batch;
+  if (name == "soak") return qos_class::soak;
+  return std::nullopt;
+}
+
+const class_policy& qos_config::policy(qos_class c) const {
+  switch (c) {
+    case qos_class::interactive:
+      return interactive;
+    case qos_class::batch:
+      return batch;
+    case qos_class::soak:
+      return soak;
+  }
+  return interactive;  // unreachable for valid enumerators
+}
+
+class_policy& qos_config::policy(qos_class c) {
+  return const_cast<class_policy&>(
+      static_cast<const qos_config&>(*this).policy(c));
+}
+
+std::vector<std::string> qos_config::validate() const {
+  std::vector<std::string> errs;
+  for (int i = 0; i < qos_class_count; ++i) {
+    const auto c = static_cast<qos_class>(i);
+    const auto& p = policy(c);
+    const std::string where = std::string("qos_config.") + to_string(c);
+    if (p.weight < 1)
+      errs.push_back(where + ".weight: must be >= 1 (got " +
+                     std::to_string(p.weight) +
+                     "); weight 0 would starve the class forever");
+    if (p.queue_cap < 1)
+      errs.push_back(where + ".queue_cap: must be >= 1 (got " +
+                     std::to_string(p.queue_cap) + ")");
+    if (p.deadline_seconds < 0.0)
+      errs.push_back(where +
+                     ".deadline_seconds: must be >= 0 (0 disables expiry; got " +
+                     std::to_string(p.deadline_seconds) + ")");
+  }
+  return errs;
+}
+
+}  // namespace nlh::svc

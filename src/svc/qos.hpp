@@ -1,0 +1,80 @@
+#pragma once
+///
+/// \file qos.hpp
+/// \brief Differentiated service classes for the `src/svc/` front-end
+/// (docs/service.md).
+///
+/// The DiffServ-style model (PAPERS.md, arXiv:1205.3319) applied to
+/// inference-style session serving: every submitted job carries one of
+/// three `qos_class`es — `interactive` (a user is waiting), `batch`
+/// (throughput work) and `soak` (background filler) — and each class owns
+/// a `class_policy`: a scheduling `weight` (its share of execution slots
+/// under saturation), a `queue_cap` bounding its admission queue
+/// (backpressure: a full queue sheds instead of growing without bound)
+/// and an optional `deadline_seconds` after which still-queued work is
+/// load-shed rather than executed late (only meaningful for interactive
+/// traffic, where a result past the deadline is worthless).
+///
+/// `qos_config` bundles the three policies plus the `enabled` switch that
+/// collapses the scheduler to the single-FIFO no-QoS baseline the
+/// `ablation_service` bench compares against.
+///
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nlh::svc {
+
+/// Service class of one submitted job; array index into per-class state.
+enum class qos_class {
+  interactive = 0,  ///< latency-sensitive; a client is blocked on the result
+  batch = 1,        ///< throughput work; finish soon, nobody is staring at it
+  soak = 2,         ///< background filler; runs in otherwise-idle capacity
+};
+
+inline constexpr int qos_class_count = 3;
+
+/// Stable lowercase name ("interactive" / "batch" / "soak").
+const char* to_string(qos_class c);
+
+/// Inverse of to_string; nullopt for anything else.
+std::optional<qos_class> parse_qos_class(const std::string& name);
+
+/// Per-class knobs (docs/service.md lists the tuning guidance).
+struct class_policy {
+  /// Relative share of execution slots under saturation (deficit
+  /// scheduling: a class with weight 8 is served ~8x as often as one with
+  /// weight 1 while both have work queued). Must be >= 1.
+  int weight = 1;
+  /// Admission-queue depth cap; a submit that would exceed it is shed
+  /// immediately (bounded queues are the backpressure mechanism — an
+  /// unbounded queue just converts overload into unbounded latency).
+  int queue_cap = 1024;
+  /// Queued work older than this is shed at dispatch time instead of run
+  /// (0 = never expires). The load-shedding valve for interactive traffic:
+  /// under sustained overload it is better to fail 1 job fast than to run
+  /// every job seconds too late.
+  double deadline_seconds = 0.0;
+};
+
+/// The three class policies plus the QoS master switch.
+struct qos_config {
+  class_policy interactive{/*weight=*/8, /*queue_cap=*/256,
+                           /*deadline_seconds=*/2.0};
+  class_policy batch{/*weight=*/3, /*queue_cap=*/1024,
+                     /*deadline_seconds=*/0.0};
+  class_policy soak{/*weight=*/1, /*queue_cap=*/4096,
+                    /*deadline_seconds=*/0.0};
+  /// false = the no-QoS ablation baseline: one FIFO queue across classes,
+  /// no weights, no deadline shedding (queue caps still bound memory).
+  bool enabled = true;
+
+  const class_policy& policy(qos_class c) const;
+  class_policy& policy(qos_class c);
+
+  /// Every validation failure, one actionable message each; empty = valid.
+  std::vector<std::string> validate() const;
+};
+
+}  // namespace nlh::svc

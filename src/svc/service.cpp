@@ -1,0 +1,323 @@
+///
+/// \file service.cpp
+/// \brief service_loop implementation: policing -> classed enqueue ->
+/// deficit dispatch -> session execution, with per-class latency
+/// accounting and the svc/* metrics view.
+///
+
+#include "svc/service.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics_export.hpp"
+#include "obs/tracer.hpp"
+
+namespace nlh::svc {
+
+namespace {
+
+int resolved_slots(const service_options& o) {
+  return o.max_concurrent == 0 ? static_cast<int>(o.pool_threads)
+                               : o.max_concurrent;
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const service_options& opt) {
+  std::vector<std::string> errs;
+  if (opt.pool_threads < 1)
+    errs.push_back("service_options.pool_threads: the shared pool needs at "
+                   "least 1 worker (got " +
+                   std::to_string(opt.pool_threads) + ")");
+  if (opt.max_concurrent < 0)
+    errs.push_back("service_options.max_concurrent: must be >= 0 (0 = "
+                   "pool_threads; got " +
+                   std::to_string(opt.max_concurrent) + ")");
+  if (opt.pool_threads >= 1 && opt.max_concurrent >= 1 &&
+      static_cast<unsigned>(opt.max_concurrent) > opt.pool_threads)
+    errs.push_back(
+        "service_options.max_concurrent: " + std::to_string(opt.max_concurrent) +
+        " slots exceed pool_threads " + std::to_string(opt.pool_threads) +
+        "; every running job occupies one worker, so excess slots can never fill");
+  if (opt.tick_seconds < 0.0)
+    errs.push_back("service_options.tick_seconds: must be >= 0 (0 disables "
+                   "the ticker; got " +
+                   std::to_string(opt.tick_seconds) + ")");
+  for (auto e : opt.qos.validate())
+    errs.push_back("service_options." + std::move(e));
+  for (auto e : opt.default_quota.validate())
+    errs.push_back("service_options.default_quota: " + std::move(e));
+  for (const auto& [tenant, q] : opt.tenant_quotas)
+    for (auto e : q.validate())
+      errs.push_back("service_options.tenant_quotas['" + tenant +
+                     "']: " + std::move(e));
+  return errs;
+}
+
+namespace {
+
+service_options validated(service_options opt) {
+  const auto errs = validate(opt);
+  if (!errs.empty()) {
+    std::ostringstream msg;
+    msg << "invalid service_options (" << errs.size() << " problem"
+        << (errs.size() > 1 ? "s" : "") << "):";
+    for (const auto& e : errs) msg << "\n  - " << e;
+    throw std::invalid_argument(msg.str());
+  }
+  return opt;
+}
+
+}  // namespace
+
+service_loop::service_loop(service_options opt)
+    : opt_(validated(std::move(opt))),
+      epoch_(std::chrono::steady_clock::now()),
+      quota_(opt_.default_quota),
+      sched_(scheduler_options{opt_.qos, resolved_slots(opt_)}, pool_,
+             [this] { return now_s(); }),
+      pool_(opt_.pool_threads) {
+  for (const auto& [tenant, q] : opt_.tenant_quotas) quota_.set_quota(tenant, q);
+  if (opt_.tick_seconds > 0.0) {
+    ticker_ = std::thread([this] {
+      std::unique_lock<std::mutex> lk(tick_mu_);
+      while (!tick_stop_) {
+        tick_cv_.wait_for(lk, std::chrono::duration<double>(opt_.tick_seconds));
+        if (tick_stop_) break;
+        lk.unlock();
+        sched_.pump();
+        lk.lock();
+      }
+    });
+  }
+}
+
+service_loop::~service_loop() {
+  // Honor every accepted future first (drained queues were already shed),
+  // then stop the ticker; pool_ (declared last) joins its workers while
+  // sched_ and the histograms the tasks touch are still alive.
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lk(tick_mu_);
+    tick_stop_ = true;
+  }
+  tick_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+}
+
+double service_loop::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+amt::future<svc_result> service_loop::submit(std::string tenant, qos_class cls,
+                                             svc_job job) {
+  auto ctx = std::make_shared<job_ctx>();
+  ctx->tenant = std::move(tenant);
+  ctx->cls = cls;
+  ctx->job = std::move(job);
+  auto fut = ctx->done.get_future();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ctx->seq = next_seq_++;
+    ctx->submitted_s = now_s();
+    if (!clock_started_) {
+      clock_started_ = true;
+      first_submit_s_ = ctx->submitted_s;
+    }
+  }
+  if (ctx->job.label.empty()) ctx->job.label = "svc-" + std::to_string(ctx->seq);
+  ctx->label = ctx->job.label;
+  submitted_[static_cast<int>(cls)].add();
+  NLH_TRACE_INSTANT("svc/submit", ctx->seq);
+
+  // Police before queueing: a shed here never cost a queue slot. admit and
+  // delay both commit the tenant's in-flight count (released on any
+  // terminal outcome).
+  const auto dec = quota_.police(ctx->tenant, ctx->submitted_s);
+  if (dec.action == policing_decision::shed) {
+    fail_shed(ctx, "quota",
+              "tenant '" + ctx->tenant + "' is at its max_in_flight cap",
+              /*release_quota=*/false);
+    return fut;
+  }
+
+  sched_item item;
+  item.cls = cls;
+  item.seq = ctx->seq;
+  item.enqueued_s = ctx->submitted_s;
+  item.ready_at_s =
+      dec.action == policing_decision::delay ? dec.ready_at : 0.0;
+  item.run = [this, ctx] { execute(ctx); };
+  item.shed = [this, ctx](const std::string& reason) {
+    fail_shed(ctx, reason,
+              reason == "expired"
+                  ? "class deadline passed before a slot freed"
+                  : "service drained before execution",
+              /*release_quota=*/true);
+  };
+  switch (sched_.enqueue(std::move(item))) {
+    case class_scheduler::enqueue_result::queued:
+      break;
+    case class_scheduler::enqueue_result::queue_full:
+      fail_shed(ctx, "queue_full",
+                "class '" + std::string(to_string(cls)) +
+                    "' queue at its cap of " +
+                    std::to_string(opt_.qos.policy(cls).queue_cap),
+                /*release_quota=*/true);
+      break;
+    case class_scheduler::enqueue_result::draining:
+      fail_shed(ctx, "draining", "service is draining; admission stopped",
+                /*release_quota=*/true);
+      break;
+  }
+  return fut;
+}
+
+void service_loop::execute(const std::shared_ptr<job_ctx>& ctx) {
+  svc_result res;
+  res.label = ctx->label;
+  res.tenant = ctx->tenant;
+  res.cls = ctx->cls;
+  const int c = static_cast<int>(ctx->cls);
+  {
+    NLH_TRACE_SPAN_ARG("svc/job", ctx->seq);
+    const double start = now_s();
+    res.queue_wait_seconds = start - ctx->submitted_s;
+    queue_wait_hist_[c].record(res.queue_wait_seconds);
+    try {
+      api::session s(ctx->job.options);
+      auto& h = s.solver();
+      // Client-centric step latency: each step is measured from the
+      // previous result the client saw — the first from submission — so
+      // queueing delay shows up in the distribution (docs/service.md).
+      double last = ctx->submitted_s;
+      h.set_observer([this, c, &last](const api::step_event&) {
+        const double t = now_s();
+        step_latency_hist_[c].record(t - last);
+        last = t;
+      });
+      const int steps =
+          ctx->job.num_steps > 0 ? ctx->job.num_steps : ctx->job.options.num_steps;
+      h.run(steps);
+      h.set_observer({});
+      res.metrics = h.metrics();
+      res.ok = true;
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    } catch (...) {
+      res.error = "unknown exception";
+    }
+    quota_.release(ctx->tenant);
+    if (res.ok)
+      completed_[c].add();
+    else
+      failed_[c].add();
+    note_terminal();
+  }
+  // Fulfill outside the span: continuations run inline here and may call
+  // back into the service.
+  ctx->done.set_value(std::move(res));
+}
+
+void service_loop::fail_shed(const std::shared_ptr<job_ctx>& ctx,
+                             const std::string& reason,
+                             const std::string& detail, bool release_quota) {
+  if (release_quota) quota_.release(ctx->tenant);
+  shed_[static_cast<int>(ctx->cls)].add();
+  NLH_TRACE_INSTANT("svc/shed", ctx->seq);
+  note_terminal();
+  svc_result res;
+  res.label = ctx->label;
+  res.tenant = ctx->tenant;
+  res.cls = ctx->cls;
+  res.shed = true;
+  res.error = "shed (" + reason + "): " + detail;
+  ctx->done.set_value(std::move(res));
+}
+
+void service_loop::note_terminal() {
+  std::lock_guard<std::mutex> lk(mu_);
+  last_done_s_ = now_s();
+}
+
+void service_loop::wait_idle() {
+  for (;;) {
+    sched_.pump();
+    bool idle = sched_.running() == 0;
+    for (int c = 0; c < qos_class_count && idle; ++c)
+      idle = sched_.queue_depth(static_cast<qos_class>(c)) == 0;
+    if (idle) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+class_scheduler::drain_report service_loop::drain(double timeout_s) {
+  return sched_.drain(timeout_s);
+}
+
+service_stats service_loop::stats() const {
+  service_stats st;
+  std::uint64_t total_completed = 0;
+  for (int c = 0; c < qos_class_count; ++c) {
+    auto& cs = st.per_class[static_cast<std::size_t>(c)];
+    cs.submitted = submitted_[c].value();
+    cs.completed = completed_[c].value();
+    cs.failed = failed_[c].value();
+    cs.shed = shed_[c].value();
+    cs.queue_wait = queue_wait_hist_[c].summary();
+    cs.step_latency = step_latency_hist_[c].summary();
+    total_completed += cs.completed;
+  }
+  st.quota_delayed = quota_.delayed();
+  st.quota_shed = quota_.shed();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (clock_started_) {
+      // A busy service reads "so far"; an idle one reads the settled span.
+      bool busy = sched_.running() > 0;
+      for (int c = 0; c < qos_class_count && !busy; ++c)
+        busy = sched_.queue_depth(static_cast<qos_class>(c)) > 0;
+      const double end =
+          busy ? now_s() : std::max(last_done_s_, first_submit_s_);
+      st.wall_seconds = end - first_submit_s_;
+    }
+  }
+  if (st.wall_seconds > 0.0)
+    st.jobs_per_second =
+        static_cast<double>(total_completed) / st.wall_seconds;
+  return st;
+}
+
+obs::metrics_snapshot service_loop::metrics_snapshot() const {
+  const auto st = stats();
+  obs::metrics_snapshot snap;
+  for (int c = 0; c < qos_class_count; ++c) {
+    const auto& cs = st.per_class[static_cast<std::size_t>(c)];
+    const std::string base =
+        std::string("svc/") + to_string(static_cast<qos_class>(c)) + "/";
+    snap.add_counter(base + "submitted", cs.submitted);
+    snap.add_counter(base + "completed", cs.completed);
+    snap.add_counter(base + "failed", cs.failed);
+    snap.add_counter(base + "shed", cs.shed);
+    snap.add_histogram(base + "queue_wait_seconds", cs.queue_wait);
+    snap.add_histogram(base + "step_latency_seconds", cs.step_latency);
+  }
+  snap.add_gauge("svc/wall_seconds", st.wall_seconds);
+  snap.add_gauge("svc/jobs_per_second", st.jobs_per_second);
+  quota_.metrics_into(snap);
+  sched_.metrics_into(snap);
+  // Live AGAS counter paths (pool busy times) ride along so one exported
+  // file carries the whole process view.
+  obs::bridge_counter_registry(snap);
+  return snap;
+}
+
+void service_loop::dump_metrics(const std::string& path) const {
+  obs::write_metrics_json(path, metrics_snapshot());
+}
+
+}  // namespace nlh::svc

@@ -1,0 +1,210 @@
+#pragma once
+///
+/// \file service.hpp
+/// \brief `service_loop`: the long-running QoS-classed service front door
+/// over `api::session` (docs/service.md).
+///
+/// `submit(tenant, class, job)` polices the tenant's quota
+/// (admit / delay / shed — svc/quota.hpp), enqueues admitted work into the
+/// class's bounded queue and returns an `amt::future<svc_result>`
+/// immediately. A `class_scheduler` maps queued work onto the shared
+/// `amt::thread_pool` by deficit round-robin over the class weights, sheds
+/// expired interactive work, and a built-in ticker thread keeps
+/// quota-delayed jobs and deadlines firing even when no submissions or
+/// completions arrive. Every terminal outcome resolves the future: `ok`,
+/// a captured per-job error, or a fast-failed shed with a distinct
+/// `"shed (<reason>)"` error (reasons: quota, queue_full, expired,
+/// drained, draining).
+///
+/// Latency accounting is client-centric: the per-class step-latency
+/// histogram measures each step from the *previous result the client saw*
+/// — the first step from submission — so queueing delay lands in the
+/// distribution exactly where a polling client would feel it. That is the
+/// metric the `BENCH_service.json` gate compares QoS vs the no-QoS
+/// baseline on (bench/ablation_service.cpp).
+///
+/// Observability: `svc/<class>/...` submitted/completed/failed/shed
+/// counters and queue-wait + step-latency histograms, `svc/quota/*` and
+/// `svc/sched/*` views, jobs/sec — all through `metrics_snapshot()`;
+/// lifecycle `NLH_TRACE_*` spans/instants ride the process tracer.
+///
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "amt/future.hpp"
+#include "amt/thread_pool.hpp"
+#include "api/session.hpp"
+#include "obs/metrics.hpp"
+#include "svc/qos.hpp"
+#include "svc/quota.hpp"
+#include "svc/scheduler.hpp"
+
+namespace nlh::svc {
+
+/// One unit of service work: a full session description plus a step
+/// budget (the same shape as api::batch_job, minus batch-only metadata).
+struct svc_job {
+  api::session_options options;
+  int num_steps = 0;  ///< steps to advance; 0 = options.num_steps
+  std::string label;  ///< echoed into the result; empty = "svc-<sequence>"
+};
+
+/// Terminal outcome of one submission.
+struct svc_result {
+  std::string label;
+  std::string tenant;
+  qos_class cls = qos_class::batch;
+  bool ok = false;
+  /// True when the job never ran: the error starts with "shed (<reason>)".
+  bool shed = false;
+  std::string error;
+  /// Admission -> execution-start wait (seconds); 0 for shed jobs.
+  double queue_wait_seconds = 0.0;
+  api::runtime_metrics metrics;  ///< meaningful only when ok
+};
+
+struct service_options {
+  qos_config qos;
+  /// Policing defaults for tenants without an explicit entry below.
+  tenant_quota default_quota;
+  std::map<std::string, tenant_quota> tenant_quotas;
+  /// Workers of the shared pool; each running job occupies one for its
+  /// whole duration.
+  unsigned pool_threads = 4;
+  /// Execution slots; 0 = pool_threads. Must not exceed pool_threads.
+  int max_concurrent = 0;
+  /// Ticker cadence for time-driven work (quota ready_at, deadlines).
+  /// 0 disables the ticker — then tests must drive scheduler().pump().
+  double tick_seconds = 0.001;
+};
+
+/// Validate `opt`, one actionable message per offence; empty = valid.
+std::vector<std::string> validate(const service_options& opt);
+
+/// Per-class slice of service_stats.
+struct class_stats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< finished OK
+  std::uint64_t failed = 0;     ///< ran but threw
+  std::uint64_t shed = 0;       ///< never ran (all shed reasons)
+  obs::histogram_summary queue_wait;
+  obs::histogram_summary step_latency;
+};
+
+struct service_stats {
+  std::array<class_stats, qos_class_count> per_class;
+  std::uint64_t quota_delayed = 0;
+  std::uint64_t quota_shed = 0;
+  double wall_seconds = 0.0;      ///< first submit -> last completion (so far)
+  double jobs_per_second = 0.0;   ///< completed (all classes) / wall
+  const class_stats& of(qos_class c) const {
+    return per_class[static_cast<std::size_t>(c)];
+  }
+};
+
+class service_loop {
+ public:
+  /// Throws std::invalid_argument when validate(opt) reports problems.
+  explicit service_loop(service_options opt = {});
+  /// Finishes every accepted job (drained queues stay shed), then joins
+  /// the ticker and pool.
+  ~service_loop();
+
+  service_loop(const service_loop&) = delete;
+  service_loop& operator=(const service_loop&) = delete;
+
+  /// Police, enqueue, return the result future immediately. Job-level
+  /// problems (invalid options, stepping errors, sheds) resolve into
+  /// svc_result, never throw here.
+  amt::future<svc_result> submit(std::string tenant, qos_class cls,
+                                 svc_job job);
+
+  /// Block until every accepted job has reached a terminal state.
+  void wait_idle();
+
+  /// Graceful shutdown: stop admission, finish in-flight jobs (bounded by
+  /// `timeout_s`), shed everything still queued with reason "drained".
+  class_scheduler::drain_report drain(double timeout_s);
+
+  /// Seconds on the service clock (steady, 0 at construction) — the time
+  /// base of every svc histogram and quota decision.
+  double now_s() const;
+
+  service_stats stats() const;
+
+  /// The full `svc/*` view (per-class counters + histograms, quota,
+  /// scheduler, jobs/sec) with the process AGAS counter paths bridged in.
+  obs::metrics_snapshot metrics_snapshot() const;
+  /// Write metrics_snapshot() as JSON to `path` (obs/metrics_export.hpp).
+  void dump_metrics(const std::string& path) const;
+
+  const service_options& options() const { return opt_; }
+  amt::thread_pool& pool() { return pool_; }
+  quota_ledger& quota() { return quota_; }
+  class_scheduler& scheduler() { return sched_; }
+
+ private:
+  /// Shared between the run and shed closures of one submission (exactly
+  /// one of them fires).
+  struct job_ctx {
+    amt::promise<svc_result> done;
+    std::string tenant;
+    std::string label;
+    qos_class cls = qos_class::batch;
+    std::uint64_t seq = 0;
+    double submitted_s = 0.0;
+    svc_job job;
+  };
+
+  /// Pool-worker body: build the session, run the steps, record per-class
+  /// latency, resolve the promise.
+  void execute(const std::shared_ptr<job_ctx>& ctx);
+  /// Fail-fast terminal path; `release_quota` is false only for the
+  /// policing shed (in-flight was never taken).
+  void fail_shed(const std::shared_ptr<job_ctx>& ctx, const std::string& reason,
+                 const std::string& detail, bool release_quota);
+  /// Stamp the wall clock's "last completion" edge.
+  void note_terminal();
+
+  service_options opt_;
+  std::chrono::steady_clock::time_point epoch_;
+  quota_ledger quota_;
+
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 0;
+  bool clock_started_ = false;
+  double first_submit_s_ = 0.0;
+  double last_done_s_ = 0.0;
+  std::array<obs::counter, qos_class_count> submitted_;
+  std::array<obs::counter, qos_class_count> completed_;
+  std::array<obs::counter, qos_class_count> failed_;
+  std::array<obs::counter, qos_class_count> shed_;
+  std::array<obs::histogram, qos_class_count> queue_wait_hist_;
+  std::array<obs::histogram, qos_class_count> step_latency_hist_;
+
+  /// Ticker: pumps the scheduler every tick_seconds so ready_at times and
+  /// deadlines fire without traffic. Joined in ~service_loop before any
+  /// member dies.
+  std::mutex tick_mu_;
+  std::condition_variable tick_cv_;
+  bool tick_stop_ = false;
+  std::thread ticker_;
+
+  /// sched_ before pool_ on purpose: pool tasks call back into sched_, so
+  /// the pool must be destroyed (workers joined) first — i.e. declared
+  /// last. The scheduler's constructor only *stores* the pool reference,
+  /// so binding it to the not-yet-constructed pool_ below is safe.
+  class_scheduler sched_;
+  amt::thread_pool pool_;  ///< last member: joins before the state above dies
+};
+
+}  // namespace nlh::svc

@@ -1,0 +1,88 @@
+#pragma once
+///
+/// \file traffic_gen.hpp
+/// \brief Deterministic open-loop traffic generation for the `src/svc/`
+/// front-end: Poisson arrivals modulated by bursty on/off phases, a
+/// tenant/class mix, and a replay driver (docs/service.md).
+///
+/// `generate_traffic` is a pure function of `traffic_options` (the PRNG is
+/// the repo's seedable xoshiro256**, bit-stable across platforms), so a
+/// trace — every arrival time, tenant, class and job shape — is exactly
+/// reproducible from its seed; `trace_checksum` fingerprints one for the
+/// determinism gate in `BENCH_service.json`. Arrivals are open loop: the
+/// offered load never waits for the service (the heavy-traffic model —
+/// thousands of independent clients do not slow down because the server
+/// queues), which is what makes saturation and shedding reachable in a
+/// bench.
+///
+/// The arrival process is a two-state MMPP: exponential interarrivals at
+/// `mean_rate` in the quiet phase and `mean_rate * burst_factor` in the
+/// burst phase, with exponentially distributed phase durations — bursty
+/// enough to exercise queue caps and deadline shedding, simple enough to
+/// reason about the offered rate.
+///
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amt/future.hpp"
+#include "svc/qos.hpp"
+#include "svc/service.hpp"
+
+namespace nlh::svc {
+
+struct traffic_options {
+  std::uint64_t seed = 42;
+  /// Stop after this many arrivals (0 = use duration_seconds instead).
+  int arrivals = 200;
+  /// When arrivals == 0: generate until trace time reaches this.
+  double duration_seconds = 0.0;
+  /// Quiet-phase arrival rate (jobs per second of trace time).
+  double mean_rate = 100.0;
+  /// Burst-phase rate multiplier (>= 1; 1 = plain Poisson).
+  double burst_factor = 4.0;
+  double mean_on_seconds = 0.25;  ///< exponential mean of burst phases
+  double mean_off_seconds = 0.75; ///< exponential mean of quiet phases
+  int tenants = 8;                ///< tenant ids drawn uniformly
+  /// Class mix; soak gets the remainder of 1.
+  double interactive_fraction = 0.5;
+  double batch_fraction = 0.3;
+  // --- job shape (per class step budgets model the latency hierarchy) ---
+  int n = 24;
+  int eps_factor = 2;
+  int steps_interactive = 2;
+  int steps_batch = 6;
+  int steps_soak = 12;
+  std::string scenario = "manufactured";
+  std::string kernel_backend;  ///< empty = process default
+
+  std::vector<std::string> validate() const;
+};
+
+/// One generated submission.
+struct arrival {
+  double t = 0.0;  ///< seconds from trace start
+  std::uint64_t id = 0;
+  std::string tenant;
+  qos_class cls = qos_class::batch;
+  svc_job job;
+};
+
+/// Deterministic trace from `opt` (throws std::invalid_argument on
+/// validation failure). Arrival times strictly increase.
+std::vector<arrival> generate_traffic(const traffic_options& opt);
+
+/// FNV-1a fingerprint over every field of every arrival (times quantized
+/// to nanoseconds) — equal checksums <=> equal offered load.
+std::uint64_t trace_checksum(const std::vector<arrival>& trace);
+
+/// Replay `trace` into `svc` open loop: each arrival is submitted at
+/// `t * time_scale` seconds of wall time after the first (time_scale 0 =
+/// submit back-to-back, preserving order). Returns one future per arrival,
+/// in trace order.
+std::vector<amt::future<svc_result>> replay(service_loop& svc,
+                                            const std::vector<arrival>& trace,
+                                            double time_scale);
+
+}  // namespace nlh::svc

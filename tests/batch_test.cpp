@@ -330,3 +330,89 @@ TEST(BatchRunner, DestructorDrainsOutstandingJobs) {
     EXPECT_TRUE(f.get().ok);
   }
 }
+
+// ------------------------------------------------------------- drain -----
+
+// drain(): admission stops, queued jobs fail fast with a distinct
+// "abandoned" error, in-flight work finishes, and the report accounts for
+// every job. Submissions after the drain are refused immediately.
+TEST(BatchRunner, DrainAbandonsQueuedJobsAndReportsCounts) {
+  api::batch_options opt;
+  opt.pool_threads = 1;
+  opt.max_concurrent_jobs = 1;
+  api::batch_runner runner(opt);
+
+  std::vector<nlh::amt::future<api::batch_job_result>> futs;
+  for (int k = 0; k < 5; ++k) {
+    api::batch_job j;
+    j.options = small_options("manufactured");
+    j.options.n = 32;
+    j.options.num_steps = 30;  // keeps the single slot busy while we drain
+    futs.push_back(runner.submit(std::move(j)));
+  }
+  const auto rep = runner.drain(60.0);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_GE(rep.abandoned, 3);  // at most the 1st (maybe 2nd) job ran
+  EXPECT_EQ(rep.still_running, 0);
+
+  int ok = 0, abandoned = 0;
+  for (auto& f : futs) {
+    // Not is_ready(): the in-flight job's promise resolves outside the
+    // runner lock an instant after drain observes running_ == 0.
+    const auto r = f.get();
+    if (r.ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.error.rfind("abandoned", 0), 0u) << r.error;
+      ++abandoned;
+    }
+  }
+  EXPECT_EQ(abandoned, rep.abandoned);
+  EXPECT_EQ(ok + abandoned, 5);
+
+  // Admission stays closed: a late submit fails fast, same error family.
+  api::batch_job late;
+  late.options = small_options("manufactured");
+  auto lf = runner.submit(std::move(late));
+  const auto lr = lf.get();
+  EXPECT_FALSE(lr.ok);
+  EXPECT_EQ(lr.error.rfind("abandoned", 0), 0u) << lr.error;
+
+  const auto agg = runner.aggregate();
+  EXPECT_EQ(agg.jobs_abandoned, rep.abandoned + 1);
+  EXPECT_EQ(agg.jobs_completed, ok);
+}
+
+// batch_job::admission_class splits the queue-wait histogram per class in
+// the metrics snapshot; unlabeled jobs land in "default".
+TEST(BatchRunner, QueueWaitIsSplitPerAdmissionClass) {
+  api::batch_options opt;
+  opt.pool_threads = 2;
+  opt.max_concurrent_jobs = 2;
+  api::batch_runner runner(opt);
+
+  std::vector<nlh::amt::future<api::batch_job_result>> futs;
+  for (int k = 0; k < 3; ++k) {
+    api::batch_job j;
+    j.options = small_options("manufactured");
+    j.admission_class = "interactive";
+    futs.push_back(runner.submit(std::move(j)));
+  }
+  for (int k = 0; k < 2; ++k) {
+    api::batch_job j;
+    j.options = small_options("manufactured");
+    futs.push_back(runner.submit(std::move(j)));  // unlabeled -> "default"
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get().ok);
+
+  const auto snap = runner.metrics_snapshot();
+  std::uint64_t interactive = 0, fallback = 0, aggregate = 0;
+  for (const auto& [name, s] : snap.histograms) {
+    if (name == "api/batch/queue_wait_seconds/interactive") interactive = s.count;
+    if (name == "api/batch/queue_wait_seconds/default") fallback = s.count;
+    if (name == "api/batch/queue_wait_seconds") aggregate = s.count;
+  }
+  EXPECT_EQ(interactive, 3u);
+  EXPECT_EQ(fallback, 2u);
+  EXPECT_EQ(aggregate, 5u);  // the split never loses the aggregate view
+}

@@ -271,3 +271,37 @@ TEST(Cli, DoubleParsesScientificNotation) {
   ns::cli c(3, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(c.get_double("dt", 0.0), 1e-4);
 }
+
+namespace {
+enum class color { red, green, blue };
+const std::vector<std::pair<std::string, color>> kColors = {
+    {"red", color::red}, {"green", color::green}, {"blue", color::blue}};
+}  // namespace
+
+TEST(Cli, GetEnumMapsClosedSetToEnum) {
+  const char* argv[] = {"prog", "--tint", "green"};
+  ns::cli c(3, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_enum<color>("tint", color::red, kColors), color::green);
+}
+
+TEST(Cli, GetEnumAbsentKeyYieldsDefault) {
+  const char* argv[] = {"prog"};
+  ns::cli c(1, const_cast<char**>(argv));
+  EXPECT_EQ(c.get_enum<color>("tint", color::blue, kColors), color::blue);
+}
+
+TEST(Cli, GetEnumUnknownValueThrowsNamingTheValidSpellings) {
+  const char* argv[] = {"prog", "--tint", "grene"};
+  ns::cli c(3, const_cast<char**>(argv));
+  try {
+    c.get_enum<color>("tint", color::red, kColors);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--tint"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("grene"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("red"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("green"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("blue"), std::string::npos) << msg;
+  }
+}
