@@ -2,13 +2,17 @@
 /// \file micro_kernel.cpp
 /// \brief google-benchmark microbenchmarks of the nonlocal kernel — DP-update
 /// throughput vs horizon factor, SD size, influence function and backend —
-/// plus a self-contained guard pass that measures the scalar / row_run / simd
-/// backends head-to-head and writes BENCH_kernel.json.
+/// plus a self-contained guard pass that measures the scalar / row_run /
+/// simd / avx512 backends head-to-head and writes BENCH_kernel.json.
 ///
-/// The guard is the regression fence for the ROADMAP "SIMD stencil kernel"
-/// item: the process exits non-zero unless the best vectorized backend
-/// sustains >= 1.5x the scalar entry-list throughput at every epsilon factor
-/// >= 4. Set NLH_BENCH_KERNEL_JSON to redirect the report (default:
+/// The guard is the regression fence for two ROADMAP items. The relative
+/// pass ("SIMD stencil kernel") requires the best vectorized backend to
+/// sustain >= 1.5x the scalar entry-list throughput at every epsilon factor
+/// >= 4. The blocked pass ("Cache-blocked kernels for large stencils")
+/// gates absolute MDPS and the blocked-vs-unblocked paired ratio in the
+/// large-stencil regime (eps >= 8) on a grid big enough that the input
+/// window leaves L1d. The process exits non-zero unless both fences hold.
+/// Set NLH_BENCH_KERNEL_JSON to redirect the report (default:
 /// ./BENCH_kernel.json).
 ///
 
@@ -77,7 +81,8 @@ BENCHMARK(BM_KernelBackends)
     ->ArgsProduct({{2, 4, 8, 16},
                    {static_cast<long>(nl::kernel_backend::scalar),
                     static_cast<long>(nl::kernel_backend::row_run),
-                    static_cast<long>(nl::kernel_backend::simd)}});
+                    static_cast<long>(nl::kernel_backend::simd),
+                    static_cast<long>(nl::kernel_backend::avx512)}});
 
 static void BM_KernelVsBlockSize(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -163,21 +168,22 @@ double measure_mdps(const nl::grid2d& grid, const nl::stencil_plan& plan,
   return dp / elapsed / 1e6;
 }
 
-/// Measure every backend at every epsilon factor and write the guard JSON.
-/// Returns true when the best vectorized backend clears 1.5x scalar at every
-/// factor >= 4.
-bool run_kernel_guard(const char* path) {
+/// Relative fence (ROADMAP "SIMD stencil kernel"): measure every backend at
+/// every epsilon factor on a small grid and require the best vectorized
+/// backend to clear 1.5x the scalar entry-list throughput at every factor
+/// >= 4. Appends one JSON row per factor to `rows`.
+bool run_relative_guard(std::string& rows, double& min_best_speedup_ge4) {
   const int n = 96;
   const int factors[] = {2, 4, 8, 16};
   constexpr double required_speedup = 1.5;
 
-  std::string rows;
   bool pass = true;
-  double min_best_speedup_ge4 = 0.0;
   bool have_ge4 = false;
+  min_best_speedup_ge4 = 0.0;
 
-  std::printf("\nkernel guard (n=%d, simd %s):\n", n,
-              nl::kernel_simd_available() ? "available" : "unavailable");
+  std::printf("\nkernel guard, relative pass (n=%d, simd %s, avx512 %s):\n", n,
+              nl::kernel_simd_available() ? "available" : "unavailable",
+              nl::kernel_avx512_available() ? "available" : "unavailable");
   for (const int f : factors) {
     nl::grid2d grid(n, static_cast<double>(f) / n);
     nl::influence J;
@@ -191,7 +197,8 @@ bool run_kernel_guard(const char* path) {
     const double scalar = measure_mdps(grid, plan, u, out, nl::kernel_backend::scalar);
     const double row_run = measure_mdps(grid, plan, u, out, nl::kernel_backend::row_run);
     const double simd = measure_mdps(grid, plan, u, out, nl::kernel_backend::simd);
-    const double best = std::max(row_run, simd);
+    const double avx512 = measure_mdps(grid, plan, u, out, nl::kernel_backend::avx512);
+    const double best = std::max({row_run, simd, avx512});
     const double best_speedup = best / scalar;
 
     if (f >= 4) {
@@ -205,16 +212,109 @@ bool run_kernel_guard(const char* path) {
     std::snprintf(row, sizeof(row),
                   "    {\"eps_factor\": %d, \"stencil_size\": %zu, "
                   "\"scalar_mdps\": %.2f, \"row_run_mdps\": %.2f, "
-                  "\"simd_mdps\": %.2f, \"row_run_speedup\": %.3f, "
-                  "\"simd_speedup\": %.3f}",
-                  f, st.size(), scalar, row_run, simd, row_run / scalar,
-                  simd / scalar);
+                  "\"simd_mdps\": %.2f, \"avx512_mdps\": %.2f, "
+                  "\"row_run_speedup\": %.3f, \"simd_speedup\": %.3f, "
+                  "\"avx512_speedup\": %.3f}",
+                  f, st.size(), scalar, row_run, simd, avx512,
+                  row_run / scalar, simd / scalar, avx512 / scalar);
     if (!rows.empty()) rows += ",\n";
     rows += row;
     std::printf("  eps=%2d  scalar %8.2f  row_run %8.2f (%.2fx)  simd %8.2f "
-                "(%.2fx) MDP/s\n",
-                f, scalar, row_run, row_run / scalar, simd, simd / scalar);
+                "(%.2fx)  avx512 %8.2f (%.2fx) MDP/s\n",
+                f, scalar, row_run, row_run / scalar, simd, simd / scalar,
+                avx512, avx512 / scalar);
   }
+  return pass;
+}
+
+/// Absolute fence for the blocked pipeline (ROADMAP "Cache-blocked kernels
+/// for large stencils"): at a large grid, pit the best available backend on
+/// its default blocked plan against the pre-blocking baseline — the simd
+/// backend on an unblocked (single-block) plan — with alternating paired
+/// measurements, and gate on the min of the paired ratios plus an absolute
+/// MDPS floor. Thresholds are calibrated to the repo's CI hardware (see
+/// docs/kernels.md): with AVX-512 live the deep regime (eps=16, input
+/// window past L1d) must clear 2x the unblocked simd baseline; eps=8 still
+/// fits L1d, is FMA-bound rather than memory-bound, and fences at 1.25x.
+/// Without AVX-512 the gate degrades to "blocking is not a regression".
+bool run_blocked_guard(std::string& rows) {
+  const int n = 768;
+  const int factors[] = {8, 16};
+  const int pairs = 3;
+  const bool avx512 = nl::kernel_avx512_available();
+  const nl::kernel_backend best_backend =
+      avx512 ? nl::kernel_backend::avx512 : nl::kernel_backend::simd;
+
+  bool pass = true;
+  std::printf("\nkernel guard, blocked pass (n=%d, best backend %s):\n", n,
+              nl::kernel_backend_name(best_backend));
+  for (const int f : factors) {
+    const double required_ratio = avx512 ? (f >= 16 ? 2.0 : 1.25) : 0.85;
+    const double required_mdps = avx512 ? (f >= 16 ? 15.0 : 40.0)
+                                        : (f >= 16 ? 5.0 : 20.0);
+
+    nl::grid2d grid(n, static_cast<double>(f) / n);
+    nl::influence J;
+    nl::stencil st(grid, J);
+    nl::stencil_plan blocked(st);  // default cache-derived geometry
+    nl::stencil_plan unblocked(st);
+    unblocked.set_tuning(nl::kernel_tuning_unblocked());
+    auto u = grid.make_field();
+    auto out = grid.make_field();
+    for (std::size_t i = 0; i < u.size(); ++i)
+      u[i] = 1e-3 * static_cast<double>(i % 101);
+
+    double min_ratio = 0.0;
+    double best_blocked = 0.0;
+    double best_unblocked = 0.0;
+    for (int p = 0; p < pairs; ++p) {
+      // Alternate within the pair so drift (thermal, turbo, noisy
+      // neighbors) hits both sides instead of biasing the ratio.
+      const double ub =
+          measure_mdps(grid, unblocked, u, out, nl::kernel_backend::simd);
+      const double bl = measure_mdps(grid, blocked, u, out, best_backend);
+      const double ratio = bl / ub;
+      if (p == 0 || ratio < min_ratio) min_ratio = ratio;
+      best_blocked = std::max(best_blocked, bl);
+      best_unblocked = std::max(best_unblocked, ub);
+    }
+
+    const bool ok = min_ratio >= required_ratio && best_blocked >= required_mdps;
+    if (!ok) pass = false;
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"eps_factor\": %d, \"best_backend\": \"%s\", "
+                  "\"col_tile\": %d, \"row_block\": %d, "
+                  "\"unblocked_simd_mdps\": %.2f, \"blocked_best_mdps\": %.2f, "
+                  "\"blocked_vs_unblocked_min_paired_ratio\": %.3f, "
+                  "\"required_ratio\": %.2f, \"required_mdps\": %.1f, "
+                  "\"pass\": %s}",
+                  f, nl::kernel_backend_name(best_backend),
+                  blocked.blocking().col_tile, blocked.blocking().row_block,
+                  best_unblocked, best_blocked, min_ratio, required_ratio,
+                  required_mdps, ok ? "true" : "false");
+    if (!rows.empty()) rows += ",\n";
+    rows += row;
+    std::printf("  eps=%2d  unblocked simd %8.2f  blocked %s %8.2f  "
+                "min paired ratio %.2fx (need %.2fx, floor %.0f MDP/s) %s\n",
+                f, best_unblocked, nl::kernel_backend_name(best_backend),
+                best_blocked, min_ratio, required_ratio, required_mdps,
+                ok ? "ok" : "FAIL");
+  }
+  return pass;
+}
+
+/// Run both guard passes and write BENCH_kernel.json. The process exit code
+/// is the AND of the two fences.
+bool run_kernel_guard(const char* path) {
+  std::string relative_rows;
+  double min_best_speedup_ge4 = 0.0;
+  const bool relative_pass = run_relative_guard(relative_rows, min_best_speedup_ge4);
+
+  std::string blocked_rows;
+  const bool blocked_pass = run_blocked_guard(blocked_rows);
+  const bool pass = relative_pass && blocked_pass;
 
   std::FILE* fp = std::fopen(path, "w");
   if (!fp) {
@@ -224,17 +324,30 @@ bool run_kernel_guard(const char* path) {
   std::fprintf(fp,
                "{\n"
                "  \"bench\": \"micro_kernel\",\n"
-               "  \"n\": %d,\n"
+               "  \"n\": 96,\n"
                "  \"simd_available\": %s,\n"
                "  \"simd_compiled_level\": %d,\n"
-               "  \"required_speedup_at_eps_ge_4\": %.2f,\n"
+               "  \"avx512_available\": %s,\n"
+               "  \"avx512_compiled_level\": %d,\n"
+               "  \"required_speedup_at_eps_ge_4\": 1.50,\n"
                "  \"min_best_speedup_at_eps_ge_4\": %.3f,\n"
-               "  \"pass\": %s,\n"
-               "  \"results\": [\n%s\n  ]\n"
+               "  \"relative_pass\": %s,\n"
+               "  \"results\": [\n%s\n  ],\n"
+               "  \"blocked_gate\": {\n"
+               "    \"n\": 768,\n"
+               "    \"paired_measurements\": 3,\n"
+               "    \"pass\": %s,\n"
+               "    \"results\": [\n%s\n    ]\n"
+               "  },\n"
+               "  \"pass\": %s\n"
                "}\n",
-               n, nl::kernel_simd_available() ? "true" : "false",
-               nl::kernel_simd_compiled_level(), required_speedup,
-               min_best_speedup_ge4, pass ? "true" : "false", rows.c_str());
+               nl::kernel_simd_available() ? "true" : "false",
+               nl::kernel_simd_compiled_level(),
+               nl::kernel_avx512_available() ? "true" : "false",
+               nl::kernel_avx512_compiled_level(), min_best_speedup_ge4,
+               relative_pass ? "true" : "false", relative_rows.c_str(),
+               blocked_pass ? "true" : "false", blocked_rows.c_str(),
+               pass ? "true" : "false");
   std::fclose(fp);
   std::printf("  guard %s -> %s\n", pass ? "PASS" : "FAIL", path);
   return pass;

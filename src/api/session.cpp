@@ -90,6 +90,19 @@ class serial_impl final : public solver_impl {
   double dt() const override { return solver_.dt(); }
   int current_step() const override { return steps_; }
   nonlocal::kernel_backend backend() const override { return solver_.backend(); }
+  void metrics_into(obs::metrics_snapshot& snap) const override {
+    // Blocked-kernel execution observables (docs/kernels.md) — same names
+    // the distributed impl exports, so dashboards don't branch on mode.
+    const auto& ks = solver_.kernel_stats();
+    snap.add_counter("kernel/applies", ks.applies);
+    snap.add_counter("kernel/blocks", ks.blocks);
+    snap.add_counter("kernel/dps", ks.dps);
+    snap.add_gauge("kernel/mdps", ks.mdps());
+    snap.add_gauge("kernel/block_rows",
+                   static_cast<double>(solver_.kernel_plan().blocking().row_block));
+    snap.add_gauge("kernel/col_tile",
+                   static_cast<double>(solver_.kernel_plan().blocking().col_tile));
+  }
 
   std::uint64_t export_state(net::archive_writer& w,
                              const ckpt::codec& c) override {
@@ -124,6 +137,7 @@ class serial_impl final : public solver_impl {
     cfg.kind = o.kind;
     cfg.integrator = o.integrator;
     cfg.backend = resolve_backend(o);
+    cfg.tuning = o.kernel_tuning;
     return cfg;
   }
 
@@ -198,6 +212,7 @@ class dist_impl final : public solver_impl {
     if (const auto s = dist::parse_overlap_schedule(o.overlap_schedule))
       cfg.schedule = *s;
     cfg.backend = resolve_backend(o);
+    cfg.tuning = o.kernel_tuning;
     cfg.rebalance = o.auto_rebalance;
     // One codec choice drives both the checkpoint path and hibernation.
     cfg.checkpoint.codec = o.hibernation.codec;
@@ -527,7 +542,39 @@ std::vector<std::string> session::validate_resolved(const session_options& opt,
       !nonlocal::parse_kernel_backend(opt.kernel_backend)) {
     std::ostringstream m;
     m << "session_options.kernel_backend: unknown backend '" << opt.kernel_backend
-      << "'; valid: scalar, row_run, simd (empty keeps the process default)";
+      << "'; valid: scalar, row_run, simd, avx512 (empty keeps the process "
+         "default)";
+    err(m);
+  }
+  // Tuning fields: zero derives, positive overrides (clamped downstream);
+  // negative is always a mistake, so name the field instead of clamping it
+  // silently.
+  if (opt.kernel_tuning.l1d_bytes < 0) {
+    std::ostringstream m;
+    m << "session_options.kernel_tuning.l1d_bytes: must be non-negative; 0 "
+         "probes the machine (got "
+      << opt.kernel_tuning.l1d_bytes << ")";
+    err(m);
+  }
+  if (opt.kernel_tuning.l2_bytes < 0) {
+    std::ostringstream m;
+    m << "session_options.kernel_tuning.l2_bytes: must be non-negative; 0 "
+         "probes the machine (got "
+      << opt.kernel_tuning.l2_bytes << ")";
+    err(m);
+  }
+  if (opt.kernel_tuning.row_block < 0) {
+    std::ostringstream m;
+    m << "session_options.kernel_tuning.row_block: must be non-negative; 0 "
+         "derives from the stencil reach (got "
+      << opt.kernel_tuning.row_block << ")";
+    err(m);
+  }
+  if (opt.kernel_tuning.col_tile < 0) {
+    std::ostringstream m;
+    m << "session_options.kernel_tuning.col_tile: must be non-negative; 0 "
+         "derives from the cache model (got "
+      << opt.kernel_tuning.col_tile << ")";
     err(m);
   }
 

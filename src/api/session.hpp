@@ -103,13 +103,19 @@ struct session_options {
   balance::rebalance_policy auto_rebalance;
 
   // --- Kernel backend ------------------------------------------------------
-  /// "scalar", "row_run" or "simd"; pins *this session's* kernel backend
-  /// (the solver's stencil_plan is pinned at construction — no process
-  /// global is touched, so sessions with different backends coexist).
-  /// Empty = follow the process default, which still resolves through the
-  /// deprecated NLH_KERNEL_BACKEND environment variable as a fallback
-  /// (see docs/api.md).
+  /// "scalar", "row_run", "simd" or "avx512"; pins *this session's* kernel
+  /// backend (the solver's stencil_plan is pinned at construction — no
+  /// process global is touched, so sessions with different backends
+  /// coexist). Empty = follow the process default, which still resolves
+  /// through the deprecated NLH_KERNEL_BACKEND environment variable as a
+  /// fallback (see docs/api.md).
   std::string kernel_backend;
+  /// Blocked-execution overrides for this session's kernel cache model
+  /// (docs/kernels.md): zero fields derive from the probed cache geometry;
+  /// positive fields override (clamped to the documented bounds); negative
+  /// fields are a validation error. Execution order only — never changes
+  /// results.
+  nonlocal::kernel_tuning kernel_tuning;
 
   // --- Hibernation (docs/checkpoint.md) -----------------------------------
   /// When enabled, the solver_handle can park its full solver state in

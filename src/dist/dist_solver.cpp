@@ -9,6 +9,7 @@
 #include "dist/dist_solver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -167,6 +168,7 @@ dist_solver::dist_solver(const dist_config& cfg, ownership_map own,
   migration_epoch_.assign(static_cast<std::size_t>(tiling_.num_sds()), 0);
 
   if (cfg_.backend) kernel_plan_.set_backend(*cfg_.backend);
+  kernel_plan_.set_tuning(cfg_.tuning);
   if (cfg_.rebalance.enabled)
     rebalancer_ = std::make_unique<balance::auto_rebalancer>(cfg_.rebalance);
 }
@@ -233,6 +235,15 @@ overlap_stats dist_solver::stats() const {
   return s;
 }
 
+nonlocal::kernel_exec_stats dist_solver::kernel_stats() const {
+  nonlocal::kernel_exec_stats s;
+  s.applies = kernel_applies_.load(std::memory_order_relaxed);
+  s.blocks = kernel_blocks_.load(std::memory_order_relaxed);
+  s.dps = kernel_dps_.load(std::memory_order_relaxed);
+  s.seconds = kernel_seconds_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void dist_solver::metrics_into(obs::metrics_snapshot& snap) const {
   snap.add_counter("dist/ghost/messages",
                    stat_messages_.load(std::memory_order_relaxed));
@@ -245,6 +256,20 @@ void dist_solver::metrics_into(obs::metrics_snapshot& snap) const {
                  wait_seconds_.load(std::memory_order_relaxed));
   snap.add_gauge("dist/step/current", static_cast<double>(step_));
   snap.add_counter("dist/plan/compiles", plan_compiles_);
+  // Blocked-kernel execution (docs/kernels.md): counters accumulate across
+  // every compute_rect on every locality; the gauges report the plan's
+  // chosen block geometry and the effective hot-loop throughput.
+  {
+    const auto ks = kernel_stats();
+    snap.add_counter("kernel/applies", ks.applies);
+    snap.add_counter("kernel/blocks", ks.blocks);
+    snap.add_counter("kernel/dps", ks.dps);
+    snap.add_gauge("kernel/mdps", ks.mdps());
+    snap.add_gauge("kernel/block_rows",
+                   static_cast<double>(kernel_plan_.blocking().row_block));
+    snap.add_gauge("kernel/col_tile",
+                   static_cast<double>(kernel_plan_.blocking().col_tile));
+  }
   snap.add_histogram("dist/ghost/message_bytes", ghost_msg_bytes_hist_.summary());
   snap.add_histogram("dist/step/drain_wait_seconds", drain_wait_hist_.summary());
   for (int l = 0; l < own_.num_nodes(); ++l)
@@ -322,8 +347,26 @@ void dist_solver::compute_rect(int sd, const nonlocal::dp_rect& rect, double t_n
   // The per-SD blocks and the scenario's source term share this solver's
   // compiled plan, dispatching to its pinned backend (or the process
   // default when dist_config::backend was unset).
+  const auto kt0 = std::chrono::steady_clock::now();
   nonlocal::apply_nonlocal_operator_raw(blk.u().data(), lu.data(), blk.stride(),
                                         blk.ghost(), kernel_plan_, c_, rect);
+  const auto kt1 = std::chrono::steady_clock::now();
+  kernel_applies_.fetch_add(1, std::memory_order_relaxed);
+  kernel_blocks_.fetch_add(
+      static_cast<std::uint64_t>(nonlocal::count_blocks(
+          kernel_plan_.blocking(), rect.row_begin, rect.row_end, rect.col_begin,
+          rect.col_end)),
+      std::memory_order_relaxed);
+  kernel_dps_.fetch_add(static_cast<std::uint64_t>(rect.row_end - rect.row_begin) *
+                            static_cast<std::uint64_t>(rect.col_end - rect.col_begin),
+                        std::memory_order_relaxed);
+  // C++17 atomic<double> has no fetch_add; CAS loop (contention is a few
+  // tasks per step, so this never spins long).
+  const double dsec = std::chrono::duration<double>(kt1 - kt0).count();
+  double cur = kernel_seconds_.load(std::memory_order_relaxed);
+  while (!kernel_seconds_.compare_exchange_weak(cur, cur + dsec,
+                                                std::memory_order_relaxed)) {
+  }
 
   // The scenario source over the matching global rectangle. Rects of
   // concurrent tasks are disjoint, so the shared scratch is race-free.

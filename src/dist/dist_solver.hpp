@@ -105,6 +105,11 @@ struct dist_config {
   /// Kernel backend this solver's plan is pinned to; nullopt keeps the
   /// plan following the process default (the historical behaviour).
   std::optional<nonlocal::kernel_backend> backend;
+  /// Blocked-execution overrides for the plan's cache model (see
+  /// block_plan.hpp); the value-initialized default derives everything.
+  /// Execution order only — never changes results or the bitwise
+  /// serial/distributed agreement.
+  nonlocal::kernel_tuning tuning;
   /// Live Algorithm 1 policy (docs/balance.md): when enabled, the solver
   /// owns a balance::auto_rebalancer and runs it after every completed
   /// step, migrating SDs between its own localities whenever the measured
@@ -186,6 +191,11 @@ class dist_solver {
 
   /// Snapshot of the cumulative overlap observables (see overlap_stats).
   overlap_stats stats() const;
+
+  /// Cumulative kernel execution counters across every compute_rect of
+  /// every locality (operator applies, blocks walked, DPs updated, seconds
+  /// in the hot loop). Feeds the kernel/* observables in metrics_into.
+  nonlocal::kernel_exec_stats kernel_stats() const;
 
   /// Append this solver's distributed-layer instruments to `snap` under
   /// `dist/...` names (ghost traffic counters, message-size and drain-wait
@@ -360,6 +370,13 @@ class dist_solver {
   /// snapshots from other threads (monitoring during an async run) are
   /// race-free like the sibling counters.
   std::atomic<double> wait_seconds_{0.0};
+
+  // kernel/* observables: compute_rect tasks on any locality's pool
+  // accumulate here (relaxed atomics; read by kernel_stats()).
+  std::atomic<std::uint64_t> kernel_applies_{0};
+  std::atomic<std::uint64_t> kernel_blocks_{0};
+  std::atomic<std::uint64_t> kernel_dps_{0};
+  std::atomic<double> kernel_seconds_{0.0};
 
   int step_ = 0;
   std::atomic<std::uint64_t> ghost_bytes_{0};

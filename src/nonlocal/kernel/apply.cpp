@@ -32,19 +32,25 @@ void apply_scalar(const double* u, double* out, int stride, int ghost,
 
 void apply_row_run(const double* u, double* out, int stride, int ghost,
                    const stencil_plan& plan, double c, const dp_rect& rect) {
-  // Tile the output row so the accumulator stays cache- (and, once the
-  // compiler vectorizes the unit-stride k loop, register-) resident while
-  // the whole stencil streams over it.
-  constexpr int tile = 128;
+  // Walk the plan's blocked geometry: the column tile keeps the accumulator
+  // cache- (and, once the compiler vectorizes the unit-stride k loop,
+  // register-) resident while the whole stencil streams over it, and the
+  // row block keeps the tile's sliding input window in cache across output
+  // rows. The tile width comes from the cache model (block_plan.hpp), not a
+  // compile-time constant; kernel_max_col_tile bounds the stack buffer.
+  const block_geometry& g = plan.blocking();
+  const int reach = plan.reach();
   const double wsum = plan.weight_sum();
   const double* weights = plan.weights().data();
-  double acc[tile];
+  double acc[kernel_max_col_tile];
 
-  for (int i = rect.row_begin; i < rect.row_end; ++i) {
-    const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
-    double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
-    for (int jb = rect.col_begin; jb < rect.col_end; jb += tile) {
-      const int len = std::min(tile, rect.col_end - jb);
+  for_each_block(rect, g, [&](const dp_rect& blk, const dp_rect* next) {
+    if (next != nullptr) prefetch_block_lead(u, stride, ghost, *next, reach);
+    for (int i = blk.row_begin; i < blk.row_end; ++i) {
+      const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+      double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
+      const int jb = blk.col_begin;
+      const int len = blk.col_end - blk.col_begin;
       for (int k = 0; k < len; ++k) acc[k] = 0.0;
       for (const auto& r : plan.runs()) {
         const double* srow =
@@ -59,7 +65,7 @@ void apply_row_run(const double* u, double* out, int stride, int ghost,
       for (int k = 0; k < len; ++k)
         orow[jb + k] = c * (acc[k] - wsum * urow[jb + k]);
     }
-  }
+  });
 }
 
 }  // namespace nlh::nonlocal::kernel_detail

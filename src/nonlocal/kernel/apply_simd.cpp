@@ -97,16 +97,24 @@ void apply_simd(const double* u, double* out, int stride, int ghost,
                 const stencil_plan& plan, double c, const dp_rect& rect) {
   // 16 doubles per iteration: four ymm accumulators stay in registers for
   // the entire stencil sweep, so the only streaming traffic is the loads.
+  // The sweep walks the plan's blocked geometry so the column tile's
+  // sliding input window stays cache-resident across the row block; which
+  // block (or body/tail lane) a DP lands in never changes its bits, because
+  // the scalar-FMA tail mirrors the vector body's rounding exactly.
+  const block_geometry& g = plan.blocking();
+  const int reach = plan.reach();
   const double wsum = plan.weight_sum();
   const double* weights = plan.weights().data();
   const __m256d vc = _mm256_set1_pd(c);
   const __m256d vwsum = _mm256_set1_pd(wsum);
 
-  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+  for_each_block(rect, g, [&](const dp_rect& blk, const dp_rect* next) {
+    if (next != nullptr) prefetch_block_lead(u, stride, ghost, *next, reach);
+  for (int i = blk.row_begin; i < blk.row_end; ++i) {
     const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
     double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
-    int j = rect.col_begin;
-    for (; j + 16 <= rect.col_end; j += 16) {
+    int j = blk.col_begin;
+    for (; j + 16 <= blk.col_end; j += 16) {
       __m256d a0 = _mm256_setzero_pd();
       __m256d a1 = _mm256_setzero_pd();
       __m256d a2 = _mm256_setzero_pd();
@@ -134,25 +142,32 @@ void apply_simd(const double* u, double* out, int stride, int ghost,
       _mm256_storeu_pd(orow + j + 8, _mm256_mul_pd(vc, a2));
       _mm256_storeu_pd(orow + j + 12, _mm256_mul_pd(vc, a3));
     }
-    run_formula_tail(urow, orow, stride, plan, c, wsum, j, rect.col_end);
+    run_formula_tail(urow, orow, stride, plan, c, wsum, j, blk.col_end);
   }
+  });
 }
 
 #elif NLH_SIMD_LEVEL == 1
 
 void apply_simd(const double* u, double* out, int stride, int ghost,
                 const stencil_plan& plan, double c, const dp_rect& rect) {
-  // SSE2: 8 doubles per iteration in four xmm accumulators (no FMA).
+  // SSE2: 8 doubles per iteration in four xmm accumulators (no FMA). Walks
+  // the same blocked geometry as the AVX2 path; the mul+add tail matches
+  // the vector lanes by construction, so blocking stays bitwise invisible.
+  const block_geometry& g = plan.blocking();
+  const int reach = plan.reach();
   const double wsum = plan.weight_sum();
   const double* weights = plan.weights().data();
   const __m128d vc = _mm_set1_pd(c);
   const __m128d vwsum = _mm_set1_pd(wsum);
 
-  for (int i = rect.row_begin; i < rect.row_end; ++i) {
+  for_each_block(rect, g, [&](const dp_rect& blk, const dp_rect* next) {
+    if (next != nullptr) prefetch_block_lead(u, stride, ghost, *next, reach);
+  for (int i = blk.row_begin; i < blk.row_end; ++i) {
     const double* urow = u + static_cast<std::size_t>(i + ghost) * stride + ghost;
     double* orow = out + static_cast<std::size_t>(i + ghost) * stride + ghost;
-    int j = rect.col_begin;
-    for (; j + 8 <= rect.col_end; j += 8) {
+    int j = blk.col_begin;
+    for (; j + 8 <= blk.col_end; j += 8) {
       __m128d a0 = _mm_setzero_pd();
       __m128d a1 = _mm_setzero_pd();
       __m128d a2 = _mm_setzero_pd();
@@ -179,8 +194,9 @@ void apply_simd(const double* u, double* out, int stride, int ghost,
       _mm_storeu_pd(orow + j + 4, _mm_mul_pd(vc, a2));
       _mm_storeu_pd(orow + j + 6, _mm_mul_pd(vc, a3));
     }
-    run_formula_tail(urow, orow, stride, plan, c, wsum, j, rect.col_end);
+    run_formula_tail(urow, orow, stride, plan, c, wsum, j, blk.col_end);
   }
+  });
 }
 
 #else

@@ -10,6 +10,7 @@ namespace {
 
 /// Best backend this process can actually run.
 kernel_backend best_available_backend() {
+  if (kernel_avx512_available()) return kernel_backend::avx512;
   return kernel_simd_available() ? kernel_backend::simd : kernel_backend::row_run;
 }
 
@@ -31,7 +32,7 @@ kernel_backend resolve_initial_backend() {
     }
     std::fprintf(stderr,
                  "nlh: ignoring invalid NLH_KERNEL_BACKEND=\"%s\" "
-                 "(expected scalar, row_run or simd)\n",
+                 "(expected scalar, row_run, simd or avx512)\n",
                  env);
   }
 #ifdef NLH_KERNEL_DEFAULT_BACKEND_NAME
@@ -56,6 +57,7 @@ const char* kernel_backend_name(kernel_backend b) {
     case kernel_backend::scalar: return "scalar";
     case kernel_backend::row_run: return "row_run";
     case kernel_backend::simd: return "simd";
+    case kernel_backend::avx512: return "avx512";
   }
   return "unknown";
 }
@@ -64,6 +66,7 @@ std::optional<kernel_backend> parse_kernel_backend(const std::string& name) {
   if (name == "scalar") return kernel_backend::scalar;
   if (name == "row_run") return kernel_backend::row_run;
   if (name == "simd") return kernel_backend::simd;
+  if (name == "avx512") return kernel_backend::avx512;
   return std::nullopt;
 }
 
@@ -77,6 +80,17 @@ bool kernel_simd_available() {
   // (level == 2 implies an x86 build, but the arch guard keeps the x86-only
   // builtin out of non-x86 compilations of this TU.)
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool kernel_avx512_available() {
+  if (kernel_avx512_compiled_level() == 0) return false;
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+  // AVX-512F was force-enabled for the avx512 TU only; gate on the CPU.
+  return __builtin_cpu_supports("avx512f");
 #else
   return false;
 #endif

@@ -4,12 +4,14 @@
 /// \brief Kernel backend enum and process-wide backend selection for the
 /// nonlocal operator hot loop.
 ///
-/// Three implementations sit behind the single apply_nonlocal_operator_raw
+/// Four implementations sit behind the single apply_nonlocal_operator_raw
 /// entry point:
 ///  - `scalar`  — the original entry-list gather loop (reference baseline);
 ///  - `row_run` — unit-stride row-run loops the compiler auto-vectorizes;
 ///  - `simd`    — explicit AVX2/SSE2 intrinsics (falls back to row_run when
-///                the binary or the CPU lacks the instructions).
+///                the binary or the CPU lacks the instructions);
+///  - `avx512`  — explicit AVX-512F intrinsics in their own TU (falls back
+///                to `simd`, then `row_run`, along the same runtime gate).
 ///
 /// The process *default* is resolved once per process: the (deprecated,
 /// warned-once) NLH_KERNEL_BACKEND environment variable wins, then the
@@ -31,9 +33,10 @@ enum class kernel_backend {
   scalar,   ///< entry-list gather loop (the measured baseline)
   row_run,  ///< compiled runs, auto-vectorizable unit-stride FMAs
   simd,     ///< explicit AVX2/SSE2 path (row_run fallback if unavailable)
+  avx512,   ///< explicit AVX-512F path (simd/row_run fallback if unavailable)
 };
 
-/// Lower-case backend name ("scalar", "row_run", "simd").
+/// Lower-case backend name ("scalar", "row_run", "simd", "avx512").
 const char* kernel_backend_name(kernel_backend b);
 
 /// Parse a backend name; nullopt on anything unrecognized.
@@ -47,6 +50,15 @@ bool kernel_simd_available();
 /// Instruction level baked into the simd translation unit:
 /// 0 = portable fallback, 1 = SSE2, 2 = AVX2+FMA.
 int kernel_simd_compiled_level();
+
+/// True when the avx512 backend would actually run AVX-512 intrinsics: the
+/// avx512 translation unit was compiled with them (NLH_ENABLE_AVX512) AND
+/// the running CPU reports avx512f.
+bool kernel_avx512_available();
+
+/// Instruction level baked into the avx512 translation unit:
+/// 0 = forwarding fallback, 1 = AVX-512F.
+int kernel_avx512_compiled_level();
 
 /// Process-wide default backend — what an *unpinned* stencil_plan resolves
 /// to at dispatch time (see stencil_plan::backend()).

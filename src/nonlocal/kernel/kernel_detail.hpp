@@ -7,10 +7,21 @@
 /// Every implementation computes, for each DP (i, j) of `rect`,
 ///   out = c * (sum_e w_e * u[neighbor_e] - weight_sum * u[i,j])
 /// over the plan's canonical entry order. scalar keeps the original
-/// per-entry `w * (u_nb - u_i)` form; row_run/simd hoist the center term
-/// via the weight sum, which changes rounding but not the entry order
+/// per-entry `w * (u_nb - u_i)` form; row_run/simd/avx512 hoist the center
+/// term via the weight sum, which changes rounding but not the entry order
 /// (agreement is ULP-level, asserted by kernel_test).
 ///
+/// All vectorized backends execute the plan's blocked geometry through
+/// `for_each_block` below: the rect is tiled into (row-block x column-tile)
+/// blocks whose boundaries sit at absolute multiples of the block dims, so
+/// a DP's block is a function of its coordinates alone — any decomposition
+/// of a rect into sub-rects (the distributed solver's strips) walks the
+/// same boundaries. Since each DP's stencil sum is accumulated in the same
+/// canonical order whichever block it lands in, blocking is bitwise
+/// invisible (kernel_test asserts blocked == unblocked per backend).
+///
+
+#include <algorithm>
 
 #include "nonlocal/kernel/stencil_plan.hpp"
 
@@ -24,7 +35,10 @@ namespace nlh::nonlocal::kernel_detail {
 void apply_scalar(const double* u, double* out, int stride, int ghost,
                   const stencil_plan& plan, double c, const dp_rect& rect);
 
-/// Unit-stride row-run loops; plain C++ the compiler auto-vectorizes.
+/// Unit-stride row-run loops; plain C++ the compiler auto-vectorizes. The
+/// column tile is the plan's blocked geometry (one tuning source shared
+/// with the SIMD paths), bounded by kernel_max_col_tile for the stack
+/// accumulator.
 void apply_row_run(const double* u, double* out, int stride, int ghost,
                    const stencil_plan& plan, double c, const dp_rect& rect);
 
@@ -33,5 +47,75 @@ void apply_row_run(const double* u, double* out, int stride, int ghost,
 /// must check kernel_simd_available() before selecting this on AVX2 builds.
 void apply_simd(const double* u, double* out, int stride, int ghost,
                 const stencil_plan& plan, double c, const dp_rect& rect);
+
+/// Explicit AVX-512F intrinsics (own TU, NLH_ENABLE_AVX512); the portable
+/// build forwards to apply_simd. Callers must check
+/// kernel_avx512_available() before selecting this on AVX-512 builds.
+void apply_avx512(const double* u, double* out, int stride, int ghost,
+                  const stencil_plan& plan, double c, const dp_rect& rect);
+
+/// Visit the blocks of `rect` under geometry `g` in execution order: row
+/// blocks outer, column tiles inner. Boundaries are aligned to absolute
+/// multiples of the dims (see file comment), so the leading block of each
+/// dimension may be partial. `fn(block, next)` receives the current block
+/// and a pointer to the block that will execute next (null for the last) —
+/// the SIMD backends prefetch the next block's leading input rows through
+/// it. Templated on the rect type so this header can keep dp_rect
+/// incomplete; instantiations live in the backend TUs.
+template <typename Rect, typename Fn>
+inline void for_each_block(const Rect& rect, const block_geometry& g, Fn&& fn) {
+  const auto next_boundary = [](int pos, int dim) {
+    return (pos / dim + 1) * dim;  // pos >= 0: rects index the interior
+  };
+  Rect cur{};
+  bool have_cur = false;
+  for (int rb = rect.row_begin; rb < rect.row_end;) {
+    const int re = std::min(rect.row_end, next_boundary(rb, g.row_block));
+    for (int cb = rect.col_begin; cb < rect.col_end;) {
+      const int ce = std::min(rect.col_end, next_boundary(cb, g.col_tile));
+      Rect blk{};
+      blk.row_begin = rb;
+      blk.row_end = re;
+      blk.col_begin = cb;
+      blk.col_end = ce;
+      if (have_cur) fn(cur, &blk);
+      cur = blk;
+      have_cur = true;
+      cb = ce;
+    }
+    rb = re;
+  }
+  if (have_cur) fn(cur, static_cast<const Rect*>(nullptr));
+}
+
+/// Software-prefetch the leading input rows of the next block's sliding
+/// window (read-only, low temporal locality): the hardware prefetcher
+/// covers the unit-stride streaming inside a block, but the jump to a new
+/// column tile starts cold — warming its first rows hides that latency
+/// behind the current block's arithmetic. No-op on compilers without
+/// __builtin_prefetch.
+template <typename Rect>
+inline void prefetch_block_lead(const double* u, int stride, int ghost,
+                                const Rect& next, int reach) {
+#if defined(__GNUC__) || defined(__clang__)
+  constexpr int lead_rows = 4;
+  const int r0 = next.row_begin - reach;
+  const int r1 = std::min(r0 + lead_rows, next.row_end + reach);
+  const int c0 = next.col_begin - reach;
+  const int c1 = next.col_end + reach;
+  for (int i = r0; i < r1; ++i) {
+    const double* row =
+        u + static_cast<std::size_t>(i + ghost) * stride + ghost;
+    for (int j = c0; j < c1; j += 8)  // one touch per 64-byte line
+      __builtin_prefetch(row + j, 0, 1);
+  }
+#else
+  (void)u;
+  (void)stride;
+  (void)ghost;
+  (void)next;
+  (void)reach;
+#endif
+}
 
 }  // namespace nlh::nonlocal::kernel_detail

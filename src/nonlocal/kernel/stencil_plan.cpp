@@ -7,7 +7,10 @@
 namespace nlh::nonlocal {
 
 stencil_plan::stencil_plan(const stencil& st)
-    : entries_(st.entries()), weight_sum_(st.weight_sum()), reach_(st.reach()) {
+    : entries_(st.entries()),
+      weight_sum_(st.weight_sum()),
+      reach_(st.reach()),
+      blocking_(compute_block_geometry(st.reach())) {
   NLH_ASSERT_MSG(
       std::is_sorted(entries_.begin(), entries_.end(), stencil_entry_less),
       "stencil_plan: stencil entries must be canonical row-major order");

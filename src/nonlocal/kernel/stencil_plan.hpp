@@ -25,12 +25,19 @@
 /// two sessions with different backends coexist in one process
 /// (docs/kernels.md).
 ///
+/// The plan also owns the **blocked execution geometry** (block_plan.hpp):
+/// at construction it derives the (row-block x column-tile) dims from the
+/// stencil reach and the probed cache hierarchy; `set_tuning` re-derives
+/// them under per-solver overrides. Every backend iterates the same
+/// geometry, so row_run and the SIMD paths share one tuning source.
+///
 
 #include <cstddef>
 #include <optional>
 #include <vector>
 
 #include "nonlocal/kernel/backend.hpp"
+#include "nonlocal/kernel/block_plan.hpp"
 #include "nonlocal/stencil.hpp"
 
 namespace nlh::nonlocal {
@@ -84,6 +91,19 @@ class stencil_plan {
     return backend_ ? *backend_ : kernel_default_backend();
   }
 
+  /// Re-derive the blocked execution geometry under `t` (see
+  /// block_plan.hpp). Owning solvers call this once at construction, before
+  /// the first apply; it is not synchronized against concurrent dispatch.
+  void set_tuning(const kernel_tuning& t) {
+    tuning_ = t;
+    blocking_ = compute_block_geometry(reach_, tuning_);
+  }
+  const kernel_tuning& tuning() const { return tuning_; }
+
+  /// The (row-block x column-tile) geometry every backend's blocked loop
+  /// iterates for this plan.
+  const block_geometry& blocking() const { return blocking_; }
+
  private:
   std::vector<stencil_entry> entries_;
   std::vector<stencil_run> runs_;
@@ -91,6 +111,8 @@ class stencil_plan {
   double weight_sum_ = 0.0;
   int reach_ = 0;
   std::optional<kernel_backend> backend_;
+  kernel_tuning tuning_;
+  block_geometry blocking_;
 };
 
 /// Largest stable forward-Euler timestep for scaling constant c (same bound

@@ -41,6 +41,16 @@ void apply_nonlocal_operator_raw(const double* u, double* out, int stride, int g
       else
         kernel_detail::apply_row_run(u, out, stride, ghost, plan, c, rect);
       return;
+    case kernel_backend::avx512:
+      // Fallback chain avx512 -> simd -> row_run, gated at runtime so a
+      // pinned avx512 plan is still safe on CPUs (or builds) without it.
+      if (kernel_avx512_available())
+        kernel_detail::apply_avx512(u, out, stride, ghost, plan, c, rect);
+      else if (kernel_simd_available())
+        kernel_detail::apply_simd(u, out, stride, ghost, plan, c, rect);
+      else
+        kernel_detail::apply_row_run(u, out, stride, ghost, plan, c, rect);
+      return;
   }
   NLH_ASSERT_MSG(false, "apply_nonlocal_operator_raw: unknown backend");
 }

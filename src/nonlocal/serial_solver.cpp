@@ -1,5 +1,7 @@
 #include "nonlocal/serial_solver.hpp"
 
+#include <chrono>
+
 #include "nonlocal/nonlocal_operator.hpp"
 #include "support/assert.hpp"
 
@@ -22,6 +24,7 @@ serial_solver::serial_solver(const solver_config& cfg,
       b_scratch_(grid_.make_field()) {
   NLH_ASSERT(cfg.num_steps >= 1);
   if (cfg.backend) plan_.set_backend(*cfg.backend);
+  plan_.set_tuning(cfg.tuning);
 }
 
 void serial_solver::set_initial_condition() {
@@ -46,7 +49,14 @@ void serial_solver::eval_rhs(double t, const std::vector<double>& u,
   scenario_->source_into(context(), t, w_scratch_, all, b_scratch_);
 
   // out = L_h u + b.
+  const auto t0 = std::chrono::steady_clock::now();
   apply_nonlocal_operator(grid_, plan_, c_, u, out, all);
+  const auto t1 = std::chrono::steady_clock::now();
+  kstats_.applies += 1;
+  kstats_.blocks += count_blocks(plan_.blocking(), all.row_begin, all.row_end,
+                                 all.col_begin, all.col_end);
+  kstats_.dps += static_cast<std::uint64_t>(grid_.n()) * grid_.n();
+  kstats_.seconds += std::chrono::duration<double>(t1 - t0).count();
   for (int i = 0; i < grid_.n(); ++i)
     for (int j = 0; j < grid_.n(); ++j) {
       const auto idx = grid_.flat(i, j);

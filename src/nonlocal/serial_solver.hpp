@@ -49,6 +49,10 @@ struct solver_config {
   /// Kernel backend this solver's plan is pinned to; nullopt keeps the
   /// plan following the process default (the historical behaviour).
   std::optional<kernel_backend> backend;
+  /// Blocked-execution overrides for the plan's cache model; the
+  /// value-initialized default keeps every field on "derive it" (see
+  /// block_plan.hpp). Never changes results, only execution order.
+  kernel_tuning tuning;
 };
 
 /// Per-run outputs. The error fields stay 0 when the scenario provides no
@@ -92,6 +96,11 @@ class serial_solver {
   /// `out` (padded layout; interior entries written, collar untouched).
   void eval_rhs(double t, const std::vector<double>& u, std::vector<double>& out);
 
+  /// Cumulative kernel execution counters (operator applies, blocks walked,
+  /// DPs updated, seconds in the hot loop) since construction. Feeds the
+  /// kernel/* observables the API layer exports (docs/observability.md).
+  const kernel_exec_stats& kernel_stats() const { return kstats_; }
+
   /// Scenario's exact solution on the padded interior at time t (collar 0).
   /// Only valid when active_scenario().has_exact().
   std::vector<double> exact_field(double t) const;
@@ -116,6 +125,7 @@ class serial_solver {
   std::vector<double> lu_;      ///< scratch: L_h[u]
   std::vector<double> w_scratch_;
   std::vector<double> b_scratch_;
+  kernel_exec_stats kstats_;
 };
 
 }  // namespace nlh::nonlocal

@@ -1,12 +1,14 @@
 // Tests for the vectorized kernel subsystem (src/nonlocal/kernel/): stencil
-// canonicalization, run compilation invariants, and bitwise/ULP agreement of
-// the scalar / row_run / simd backends across horizon factors, non-square
-// rects and rects touching the ghost border.
+// canonicalization, run compilation invariants, bitwise/ULP agreement of the
+// scalar / row_run / simd / avx512 backends across horizon factors,
+// non-square rects and rects touching the ghost border, and the blocked
+// execution plan (cache-model clamping, blocked == unblocked bitwise).
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "nonlocal/grid2d.hpp"
@@ -57,6 +59,12 @@ void expect_rect_near(const nl::grid2d& g, const std::vector<double>& a,
       ASSERT_NEAR(a[g.flat(i, j)], b[g.flat(i, j)], tol)
           << "at (" << i << ", " << j << ")";
 }
+
+/// Every selectable backend (unavailable ones dispatch through their
+/// documented fallback chain, so each is always safe to request).
+constexpr nl::kernel_backend kAllBackends[] = {
+    nl::kernel_backend::scalar, nl::kernel_backend::row_run,
+    nl::kernel_backend::simd, nl::kernel_backend::avx512};
 
 }  // namespace
 
@@ -168,10 +176,11 @@ TEST(KernelBackends, AgreeAcrossEpsilonFactors) {
     const double tol = agreement_tol(plan, c, 1.0);
 
     const auto scalar = apply_backend(g, plan, c, u, all, nl::kernel_backend::scalar);
-    const auto row_run = apply_backend(g, plan, c, u, all, nl::kernel_backend::row_run);
-    const auto simd = apply_backend(g, plan, c, u, all, nl::kernel_backend::simd);
-    expect_rect_near(g, scalar, row_run, all, tol);
-    expect_rect_near(g, scalar, simd, all, tol);
+    for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd,
+                         nl::kernel_backend::avx512}) {
+      const auto out = apply_backend(g, plan, c, u, all, b);
+      expect_rect_near(g, scalar, out, all, tol);
+    }
   }
 }
 
@@ -191,10 +200,11 @@ TEST(KernelBackends, AgreeOnNonSquareRects) {
   };
   for (const auto& rect : rects) {
     const auto scalar = apply_backend(g, plan, c, u, rect, nl::kernel_backend::scalar);
-    const auto row_run = apply_backend(g, plan, c, u, rect, nl::kernel_backend::row_run);
-    const auto simd = apply_backend(g, plan, c, u, rect, nl::kernel_backend::simd);
-    expect_rect_near(g, scalar, row_run, rect, tol);
-    expect_rect_near(g, scalar, simd, rect, tol);
+    for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd,
+                         nl::kernel_backend::avx512}) {
+      const auto out = apply_backend(g, plan, c, u, rect, b);
+      expect_rect_near(g, scalar, out, rect, tol);
+    }
   }
 }
 
@@ -219,10 +229,11 @@ TEST(KernelBackends, AgreeOnRectsTouchingGhostBorder) {
   };
   for (const auto& rect : rects) {
     const auto scalar = apply_backend(g, plan, c, u, rect, nl::kernel_backend::scalar);
-    const auto row_run = apply_backend(g, plan, c, u, rect, nl::kernel_backend::row_run);
-    const auto simd = apply_backend(g, plan, c, u, rect, nl::kernel_backend::simd);
-    expect_rect_near(g, scalar, row_run, rect, tol);
-    expect_rect_near(g, scalar, simd, rect, tol);
+    for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd,
+                         nl::kernel_backend::avx512}) {
+      const auto out = apply_backend(g, plan, c, u, rect, b);
+      expect_rect_near(g, scalar, out, rect, tol);
+    }
   }
 }
 
@@ -238,8 +249,7 @@ TEST(KernelBackends, RectPartitionInvariantBitwise) {
   const auto u = random_field(g, 21);
   const double c = 1.1;
 
-  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
-                       nl::kernel_backend::simd}) {
+  for (const auto b : kAllBackends) {
     const auto full =
         apply_backend(g, plan, c, u, {0, n, 0, n}, nl::kernel_backend(b));
     // Vertical strips of width 5 force different body/tail splits, plus a
@@ -268,8 +278,7 @@ TEST(KernelBackends, AllZeroOnConstantField) {
   auto u = g.make_field();
   for (auto& v : u) v = 3.7;
   const nl::dp_rect all{0, n, 0, n};
-  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
-                       nl::kernel_backend::simd}) {
+  for (const auto b : kAllBackends) {
     const auto out = apply_backend(g, plan, 5.0, u, all, b);
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < n; ++j) ASSERT_NEAR(out[g.flat(i, j)], 0.0, 1e-12);
@@ -287,8 +296,7 @@ TEST(KernelDispatch, DefaultBackendEntryPointMatchesExplicit) {
   const nl::dp_rect all{0, n, 0, n};
 
   const auto saved = nl::kernel_default_backend();
-  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
-                       nl::kernel_backend::simd}) {
+  for (const auto b : kAllBackends) {
     nl::set_kernel_default_backend(b);
     EXPECT_EQ(nl::kernel_default_backend(), b);
     auto via_default = g.make_field();
@@ -303,13 +311,12 @@ TEST(KernelDispatch, DefaultBackendEntryPointMatchesExplicit) {
 }
 
 TEST(KernelDispatch, BackendNamesRoundTrip) {
-  for (const auto b : {nl::kernel_backend::scalar, nl::kernel_backend::row_run,
-                       nl::kernel_backend::simd}) {
+  for (const auto b : kAllBackends) {
     const auto parsed = nl::parse_kernel_backend(nl::kernel_backend_name(b));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, b);
   }
-  EXPECT_FALSE(nl::parse_kernel_backend("avx512").has_value());
+  EXPECT_FALSE(nl::parse_kernel_backend("avx2048").has_value());
   EXPECT_FALSE(nl::parse_kernel_backend("").has_value());
 }
 
@@ -330,6 +337,172 @@ TEST(KernelDispatch, SimdAvailabilityIsConsistent) {
   EXPECT_EQ(out.size(), g.total());
 }
 
+TEST(KernelDispatch, Avx512AvailabilityIsConsistent) {
+  // Same contract as simd: requesting avx512 either runs AVX-512F
+  // intrinsics or walks the simd -> row_run fallback chain, never aborts.
+  const int level = nl::kernel_avx512_compiled_level();
+  EXPECT_GE(level, 0);
+  EXPECT_LE(level, 1);
+  if (nl::kernel_avx512_available()) EXPECT_EQ(level, 1);
+
+  nl::grid2d g(8, 2.0 / 8);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  const auto u = random_field(g, 13);
+  const auto out =
+      apply_backend(g, plan, 1.0, u, {0, 8, 0, 8}, nl::kernel_backend::avx512);
+  EXPECT_EQ(out.size(), g.total());
+}
+
+// ----------------------------------------------------------- blocked plan ----
+
+TEST(KernelBlockPlan, ProbedGeometryIsSane) {
+  const auto cg = nl::probe_cache_geometry();
+  EXPECT_GE(cg.l1d_bytes, 4ll * 1024);
+  EXPECT_LE(cg.l1d_bytes, 1ll * 1024 * 1024 * 1024);
+  EXPECT_GE(cg.l2_bytes, 4ll * 1024);
+  EXPECT_LE(cg.l2_bytes, 1ll * 1024 * 1024 * 1024);
+}
+
+TEST(KernelBlockPlan, GeometryClampsDegenerateInputs) {
+  // The derivation must be total: any (reach, tuning, cache) combination —
+  // zero caches, absurd reaches, out-of-range overrides — yields dims
+  // inside the documented bounds.
+  const nl::cache_geometry cases[] = {
+      {0, 0}, {-5, -5}, {1, 1}, {48 * 1024, 2 * 1024 * 1024},
+      {1ll << 40, 1ll << 41}};
+  for (const auto& cache : cases) {
+    for (const int reach : {-3, 0, 1, 8, 64, 100000}) {
+      const auto g = nl::compute_block_geometry(reach, nl::kernel_tuning{}, cache);
+      // Derived tiles never starve the widest vector body.
+      EXPECT_GE(g.col_tile, nl::kernel_derived_min_col_tile);
+      EXPECT_LE(g.col_tile, nl::kernel_max_col_tile);
+      EXPECT_EQ(g.col_tile % nl::kernel_min_col_tile, 0);
+      EXPECT_GE(g.row_block, nl::kernel_min_row_block);
+      EXPECT_LE(g.row_block, nl::kernel_max_row_block);
+    }
+  }
+
+  // Explicit overrides are honored but clamped, never trusted blindly.
+  nl::kernel_tuning t;
+  t.row_block = 1;
+  t.col_tile = 1;
+  auto g = nl::compute_block_geometry(8, t, {48 * 1024, 2 * 1024 * 1024});
+  EXPECT_EQ(g.row_block, nl::kernel_min_row_block);
+  EXPECT_EQ(g.col_tile, nl::kernel_min_col_tile);
+  t.row_block = 1 << 30;
+  t.col_tile = 1 << 30;
+  g = nl::compute_block_geometry(8, t, {48 * 1024, 2 * 1024 * 1024});
+  EXPECT_EQ(g.row_block, nl::kernel_max_row_block);
+  EXPECT_EQ(g.col_tile, nl::kernel_max_col_tile);
+  t.row_block = 24;
+  t.col_tile = 64;
+  g = nl::compute_block_geometry(8, t, {48 * 1024, 2 * 1024 * 1024});
+  EXPECT_EQ(g.row_block, 24);
+  EXPECT_EQ(g.col_tile, 64);
+  // Off-quantum explicit tiles are aligned down to the tile quantum.
+  t.col_tile = 48;
+  g = nl::compute_block_geometry(8, t, {48 * 1024, 2 * 1024 * 1024});
+  EXPECT_EQ(g.col_tile, nl::kernel_min_col_tile);
+
+  // A tighter cache budget can only narrow the derived tile.
+  const auto wide =
+      nl::compute_block_geometry(8, nl::kernel_tuning{}, {256 * 1024, 8 * 1024 * 1024});
+  const auto narrow =
+      nl::compute_block_geometry(8, nl::kernel_tuning{}, {8 * 1024, 64 * 1024});
+  EXPECT_LE(narrow.col_tile, wide.col_tile);
+}
+
+TEST(KernelBlockPlan, CountBlocksMatchesAlignedIteration) {
+  nl::block_geometry g;
+  g.row_block = 4;
+  g.col_tile = 16;
+  EXPECT_EQ(nl::count_blocks(g, 0, 8, 0, 32), 4);   // 2 row blocks x 2 tiles
+  EXPECT_EQ(nl::count_blocks(g, 0, 4, 0, 16), 1);
+  EXPECT_EQ(nl::count_blocks(g, 0, 0, 0, 16), 0);   // empty
+  // Off-boundary origins get a leading partial block per dimension.
+  EXPECT_EQ(nl::count_blocks(g, 2, 6, 8, 24), 4);
+  EXPECT_EQ(nl::count_blocks(g, 3, 4, 15, 16), 1);
+  // Aligned spans of a decomposition sum to the full-rect count.
+  EXPECT_EQ(nl::count_blocks(g, 0, 5, 0, 32) + nl::count_blocks(g, 5, 8, 0, 32),
+            nl::count_blocks(g, 0, 8, 0, 32) + 2);  // row split off-boundary
+}
+
+TEST(KernelBlocking, BlockedMatchesUnblockedBitwiseOnAwkwardRects) {
+  // Blocking only reorders which DP is computed when; each DP's
+  // accumulation chain is unchanged, so a plan with aggressive blocking
+  // must reproduce the single-block (pre-blocking) execution bit for bit —
+  // for every backend, on every awkward rect shape: single rows, widths
+  // below/off the tile size, and a reach exceeding the rect height.
+  const int n = 56;
+  nl::grid2d g(n, 8.0 / n);  // reach 8: wider than several rects below
+  nl::stencil st(g, nl::influence{});
+
+  nl::stencil_plan blocked(st);
+  nl::kernel_tuning tight;
+  tight.row_block = nl::kernel_min_row_block;  // 4-row blocks
+  tight.col_tile = nl::kernel_min_col_tile;    // 32-col tiles
+  blocked.set_tuning(tight);
+
+  nl::stencil_plan unblocked(st);
+  unblocked.set_tuning(nl::kernel_tuning_unblocked());
+
+  const auto u = random_field(g, 77);
+  const double c = 2.25;
+  const nl::dp_rect rects[] = {
+      {0, 1, 0, n},        // 1-row rect, full width
+      {5, 6, 3, 11},       // 1-row rect, width < tile
+      {10, 16, 20, 33},    // width % tile != 0, reach > height
+      {0, n, 0, n},        // full interior, n % tile != 0
+      {2, 7, 0, 32},       // aligned tile, off-boundary rows
+      {17, 18, 17, 18},    // single DP
+  };
+  for (const auto b : kAllBackends) {
+    for (const auto& rect : rects) {
+      const auto got = apply_backend(g, blocked, c, u, rect, b);
+      const auto want = apply_backend(g, unblocked, c, u, rect, b);
+      for (int i = rect.row_begin; i < rect.row_end; ++i)
+        for (int j = rect.col_begin; j < rect.col_end; ++j)
+          ASSERT_EQ(got[g.flat(i, j)], want[g.flat(i, j)])
+              << nl::kernel_backend_name(b) << " at (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(KernelBlocking, StripDecompositionInvariantUnderBlocking) {
+  // The distributed solver's fine strips must see the same absolute block
+  // boundaries as the full-rect sweep: partition invariance has to hold
+  // not just for the default geometry (RectPartitionInvariantBitwise) but
+  // under any explicit blocking.
+  const int n = 48;
+  nl::grid2d g(n, 6.0 / n);
+  nl::stencil st(g, nl::influence{});
+  nl::stencil_plan plan(st);
+  nl::kernel_tuning tight;
+  tight.row_block = 8;
+  tight.col_tile = 32;
+  plan.set_tuning(tight);
+  const auto u = random_field(g, 31);
+  const double c = 1.6;
+
+  for (const auto b : kAllBackends) {
+    const auto full = apply_backend(g, plan, c, u, {0, n, 0, n}, b);
+    auto split = g.make_field();
+    // Strip widths 7 and 9: both off the block boundaries, forcing leading
+    // partial blocks inside most strips.
+    for (int cb = 0; cb < n; cb += 7) {
+      nl::apply_nonlocal_operator_raw(u.data(), split.data(), g.stride(), g.ghost(),
+                                      plan, c, {0, 9, cb, std::min(cb + 7, n)}, b);
+      nl::apply_nonlocal_operator_raw(u.data(), split.data(), g.stride(), g.ghost(),
+                                      plan, c, {9, n, cb, std::min(cb + 7, n)}, b);
+    }
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        ASSERT_EQ(full[g.flat(i, j)], split[g.flat(i, j)])
+            << nl::kernel_backend_name(b) << " at (" << i << ", " << j << ")";
+  }
+}
+
 // ------------------------------------------------------- solver integration ----
 
 TEST(KernelSolvers, SerialSolverErrorIsBackendIndependent) {
@@ -343,7 +516,8 @@ TEST(KernelSolvers, SerialSolverErrorIsBackendIndependent) {
   const auto saved = nl::kernel_default_backend();
   nl::set_kernel_default_backend(nl::kernel_backend::scalar);
   const auto ref = nl::serial_solver(cfg).run();
-  for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd}) {
+  for (const auto b : {nl::kernel_backend::row_run, nl::kernel_backend::simd,
+                       nl::kernel_backend::avx512}) {
     nl::set_kernel_default_backend(b);
     const auto res = nl::serial_solver(cfg).run();
     EXPECT_NEAR(res.total_error_e, ref.total_error_e,
@@ -351,6 +525,42 @@ TEST(KernelSolvers, SerialSolverErrorIsBackendIndependent) {
     EXPECT_NEAR(res.final_ek, ref.final_ek, 1e-9 * std::abs(ref.final_ek));
   }
   nl::set_kernel_default_backend(saved);
+}
+
+TEST(KernelSolvers, SolverTuningNeverChangesResults) {
+  // solver_config::tuning reshapes execution order only: a solver under an
+  // aggressive explicit block geometry must reproduce the default-geometry
+  // solver bitwise, and its kernel counters must reflect the blocked sweep.
+  nl::solver_config cfg;
+  cfg.n = 40;
+  cfg.epsilon_factor = 8;
+  cfg.num_steps = 5;
+
+  nl::serial_solver ref(cfg);
+  ref.set_initial_condition();
+
+  cfg.tuning.row_block = nl::kernel_min_row_block;
+  cfg.tuning.col_tile = nl::kernel_min_col_tile;
+  nl::serial_solver tuned(cfg);
+  tuned.set_initial_condition();
+
+  for (int k = 0; k < cfg.num_steps; ++k) {
+    ref.step(k);
+    tuned.step(k);
+  }
+  ASSERT_EQ(ref.field().size(), tuned.field().size());
+  for (std::size_t i = 0; i < ref.field().size(); ++i)
+    ASSERT_EQ(ref.field()[i], tuned.field()[i]) << "at flat index " << i;
+
+  EXPECT_EQ(tuned.kernel_plan().blocking().row_block, nl::kernel_min_row_block);
+  EXPECT_EQ(tuned.kernel_plan().blocking().col_tile, nl::kernel_min_col_tile);
+  const auto& ks = tuned.kernel_stats();
+  EXPECT_EQ(ks.applies, static_cast<std::uint64_t>(cfg.num_steps));
+  EXPECT_EQ(ks.dps, static_cast<std::uint64_t>(cfg.num_steps) * cfg.n * cfg.n);
+  // 40 rows / 4-row blocks * 40 cols / 32-col tiles = 10 * 2 blocks/apply.
+  EXPECT_EQ(ks.blocks, static_cast<std::uint64_t>(cfg.num_steps) * 10 * 2);
+  EXPECT_GT(ks.seconds, 0.0);
+  EXPECT_GT(ks.mdps(), 0.0);
 }
 
 TEST(KernelSolvers, SteadyStateConvergesThroughPlanOverload) {

@@ -36,6 +36,7 @@ std::vector<double> serial_reference(const dist::dist_config& cfg, int steps) {
   scfg.num_steps = steps;
   scfg.kind = cfg.kind;
   scfg.backend = cfg.backend;
+  scfg.tuning = cfg.tuning;
   nl::serial_solver s(scfg);
   s.set_initial_condition();
   for (int k = 0; k < steps; ++k) s.step(k);
@@ -150,15 +151,21 @@ TEST(StepPlan, CachesMessageTableAndSplits) {
   }
 }
 
-// --------------------------------- bitwise equality, schedules x backends ----
+// ----------------- bitwise equality, schedules x backends x geometries ----
 
-using SchedBackendParam = std::tuple<dist::overlap_schedule, std::string>;
+// Third axis: the kernel block geometry. 0 = cache-derived default,
+// 1 = aggressively tight explicit blocking (forces partial blocks inside
+// every fine strip), 2 = unblocked single-block order. Bitwise equality
+// with the serial reference must hold for the full cross product — the
+// per-DP accumulation chain is a function of the stencil alone, never of
+// the rect decomposition or the block geometry.
+using SchedBackendParam = std::tuple<dist::overlap_schedule, std::string, int>;
 
 class ScheduleBackendEquivalence
     : public ::testing::TestWithParam<SchedBackendParam> {};
 
 TEST_P(ScheduleBackendEquivalence, BitwiseMatchesSerialReference) {
-  const auto [sched, backend_name] = GetParam();
+  const auto [sched, backend_name, tuning_case] = GetParam();
   dist::dist_config cfg;
   cfg.sd_rows = cfg.sd_cols = 3;
   cfg.sd_size = 6;
@@ -167,6 +174,12 @@ TEST_P(ScheduleBackendEquivalence, BitwiseMatchesSerialReference) {
   cfg.schedule = sched;
   cfg.backend = nl::parse_kernel_backend(backend_name);
   ASSERT_TRUE(cfg.backend.has_value());
+  if (tuning_case == 1) {
+    cfg.tuning.row_block = nl::kernel_min_row_block;
+    cfg.tuning.col_tile = nl::kernel_min_col_tile;
+  } else if (tuning_case == 2) {
+    cfg.tuning = nl::kernel_tuning_unblocked();
+  }
 
   const dist::tiling t(3, 3, 6, 2);
   dist::dist_solver solver(
@@ -185,7 +198,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(dist::overlap_schedule::bulk_sync,
                                          dist::overlap_schedule::coarse,
                                          dist::overlap_schedule::per_direction),
-                       ::testing::Values("scalar", "row_run", "simd")));
+                       ::testing::Values("scalar", "row_run", "simd", "avx512"),
+                       ::testing::Values(0, 1, 2)));
 
 // -------------------------------------- plan invalidation via migrations ----
 
@@ -218,7 +232,8 @@ TEST_P(MigrationBackendEquivalence, BitwiseAcrossRepeatedMigrations) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, MigrationBackendEquivalence,
-                         ::testing::Values("scalar", "row_run", "simd"));
+                         ::testing::Values("scalar", "row_run", "simd",
+                                           "avx512"));
 
 TEST(StepPlanInvalidation, MigrationToSelfKeepsEpoch) {
   dist::dist_config cfg;
